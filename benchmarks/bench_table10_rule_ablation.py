@@ -1,0 +1,55 @@
+"""Table 10: ablation of the domain-specific rewrite rules (§3.1).
+
+Compares the best program size found when the memory-exchange rules (MEM1,
+MEM2) and the contiguous-replacement rule (CONT) are selectively disabled,
+reproducing the structure of Table 10.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.corpus import get_benchmark
+from repro.synthesis import (CostSettings, MarkovChain, RewriteRuleProbabilities,
+                             TestSuite)
+
+from harness import print_table
+
+BENCHMARKS = ["xdp_exception", "xdp_pktcntr"]
+ITERATIONS = 1200
+
+CONFIGURATIONS = {
+    "MEM1 & CONT": RewriteRuleProbabilities(0.2, 0.4, 0.15, 0.2, 0.0, 0.05),
+    "MEM2 & CONT": RewriteRuleProbabilities(0.2, 0.4, 0.15, 0.0, 0.2, 0.05),
+    "MEM1 only": RewriteRuleProbabilities(0.2, 0.4, 0.15, 0.25, 0.0, 0.0),
+    "CONT only": RewriteRuleProbabilities(0.2, 0.4, 0.15, 0.0, 0.0, 0.25),
+    "None": RewriteRuleProbabilities(0.3, 0.5, 0.2, 0.0, 0.0, 0.0),
+}
+
+
+def _run_all():
+    rows = []
+    for name in BENCHMARKS:
+        source = get_benchmark(name).program()
+        sizes = {}
+        for label, probabilities in CONFIGURATIONS.items():
+            chain = MarkovChain(source, cost_settings=CostSettings(),
+                                probabilities=probabilities, seed=7,
+                                test_suite=TestSuite(source, seed=7))
+            result = chain.run(ITERATIONS)
+            best = result.best
+            sizes[label] = (best.instruction_count if best
+                            else source.num_real_instructions)
+        best_size = min(sizes.values())
+        row = [name] + [f"{sizes[label]}{'*' if sizes[label] == best_size else ''}"
+                        for label in CONFIGURATIONS]
+        rows.append(row)
+    print_table("Table 10: program size under rewrite-rule ablations",
+                ["benchmark"] + list(CONFIGURATIONS), rows)
+    return rows
+
+
+@pytest.mark.benchmark(group="table10")
+def test_table10_rule_ablation(benchmark):
+    rows = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    assert len(rows) == len(BENCHMARKS)

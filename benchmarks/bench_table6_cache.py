@@ -1,0 +1,44 @@
+"""Table 6: effectiveness of the equivalence-check cache (§5 optimization V).
+
+Runs the search with caching enabled and reports, per benchmark, how many
+equivalence queries hit the cache versus how many reached the checker,
+reproducing the hit-rate column of Table 6.
+"""
+
+import pytest
+
+from repro.bpf.program import BpfProgram
+from repro.corpus import get_benchmark
+from repro.synthesis import MarkovChain, TestSuite
+
+from harness import print_table
+
+BENCHMARKS = ["xdp_exception", "sys_enter_open", "xdp_pktcntr",
+              "xdp_map_access", "from-network"]
+ITERATIONS = 1500
+
+
+def _run_all():
+    rows = []
+    for name in BENCHMARKS:
+        source = get_benchmark(name).program()
+        chain = MarkovChain(source, seed=3,
+                            test_suite=TestSuite(source, seed=3))
+        chain.run(ITERATIONS)
+        stats = chain.stats
+        cache = chain.cache
+        total_queries = stats.equivalence_checks + stats.equivalence_cache_hits
+        hit_rate = (stats.equivalence_cache_hits / total_queries
+                    if total_queries else 0.0)
+        rows.append([name, stats.equivalence_cache_hits, total_queries,
+                     f"{hit_rate:.0%}", stats.iterations, cache.num_entries])
+    print_table("Table 6: equivalence-cache effectiveness",
+                ["benchmark", "# hits", "# queries", "hit rate",
+                 "# iterations", "cache entries"], rows)
+    return rows
+
+
+@pytest.mark.benchmark(group="table6")
+def test_table6_cache_effectiveness(benchmark):
+    rows = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    assert len(rows) == len(BENCHMARKS)

@@ -1,0 +1,6 @@
+"""Make the shared harness importable and register the bench marker."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

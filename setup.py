@@ -1,0 +1,5 @@
+"""Setup shim so `python setup.py develop` works in offline environments
+where pip cannot build PEP 660 editable wheels (no `wheel` package)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,14 @@
+"""K2 reproduction: a program-synthesis-based compiler for BPF.
+
+The public API re-exports the pieces a downstream user typically needs:
+
+* :class:`repro.bpf.BpfProgram` and the instruction builders,
+* :class:`repro.core.K2Compiler` - the optimizer,
+* :class:`repro.interpreter.Interpreter` - the BPF interpreter,
+* :class:`repro.equivalence.EquivalenceChecker` and
+  :class:`repro.safety.SafetyChecker`.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,42 @@
+"""A rule-based (clang-style) peephole optimizer for BPF bytecode.
+
+The paper evaluates K2 against "the best clang variant" (-O1/-O2/-O3/-Os) and
+motivates synthesis with the *phase-ordering problem* (§2.2): classic rewrite
+rules either have to be made aware of every kernel-checker restriction, or
+they produce code the checker rejects.
+
+This package builds that comparator from scratch:
+
+* :mod:`repro.baseline.peephole` — a small peephole-rule framework plus the
+  textbook rules (store strength reduction, store coalescing, multiply-to-
+  shift, identity elimination, constant folding, dead-store elimination).
+  Every rule can run in *naive* mode (apply whenever the pattern matches, as
+  a generic optimizer would) or *checker-aware* mode (consult the pointer
+  provenance analysis and skip rewrites the kernel checker forbids — the two
+  §2.2 examples).
+* :mod:`repro.baseline.clang_levels` — ``-O0/-O1/-O2/-O3/-Os`` style
+  pipelines composed from those rules, used by benches and examples as the
+  baseline K2 is compared against.
+"""
+
+from .peephole import (
+    PeepholeOptimizer,
+    PeepholeResult,
+    RewriteDecision,
+    RuleApplication,
+    all_rules,
+    rule_by_name,
+)
+from .clang_levels import OptimizationLevel, RuleBasedCompiler, compile_variants
+
+__all__ = [
+    "PeepholeOptimizer",
+    "PeepholeResult",
+    "RewriteDecision",
+    "RuleApplication",
+    "all_rules",
+    "rule_by_name",
+    "OptimizationLevel",
+    "RuleBasedCompiler",
+    "compile_variants",
+]

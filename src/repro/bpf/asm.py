@@ -1,0 +1,326 @@
+"""Textual assembler / disassembler for BPF programs.
+
+The syntax is deliberately close to the kernel's verifier log output and to
+the notation used in the K2 paper, e.g.::
+
+    mov64 r1, 0
+    add64 r2, r3
+    and32 r0, 0xff
+    ldxw  r1, [r2+4]
+    stxdw [r10-8], r1
+    stw   [r10-4], 0
+    xadd64 [r1+0], r2
+    jeq   r1, 0, +3
+    jlt   r2, r3, +1
+    call  bpf_map_lookup_elem
+    ld_map_fd r1, 2
+    lddw  r3, 0xdeadbeef
+    le16  r1
+    ja    +2
+    exit
+
+Jump offsets are written relative (``+N`` / ``-N``) in logical instruction
+units.  ``call`` accepts either a helper name or a numeric id.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Sequence
+
+from . import builders as b
+from .helpers import HELPERS
+from .instruction import Instruction
+from .opcodes import (
+    ALU_OP_NAMES,
+    JMP_OP_NAMES,
+    AluOp,
+    InsnClass,
+    JmpOp,
+    MemSize,
+    SrcOperand,
+)
+
+__all__ = ["format_instruction", "disassemble", "assemble", "AsmError"]
+
+
+class AsmError(ValueError):
+    """Raised when assembly text cannot be parsed."""
+
+
+_SIZE_SUFFIX = {MemSize.B: "b", MemSize.H: "h", MemSize.W: "w", MemSize.DW: "dw"}
+_SUFFIX_SIZE = {v: k for k, v in _SIZE_SUFFIX.items()}
+_HELPER_BY_NAME = {spec.name: spec.helper_id for spec in HELPERS.values()}
+_HELPER_NAME_BY_ID = {spec.helper_id: spec.name for spec in HELPERS.values()}
+
+
+# --------------------------------------------------------------------------- #
+# Disassembly
+# --------------------------------------------------------------------------- #
+def format_instruction(insn: Instruction) -> str:
+    """Render a single instruction as assembly text."""
+    if insn.is_nop:
+        return "ja +0"
+    if insn.is_lddw:
+        mnemonic = "ld_map_fd" if insn.src == 1 else "lddw"
+        return f"{mnemonic} r{insn.dst}, {insn.imm64 if insn.imm64 is not None else insn.imm:#x}"
+    if insn.is_alu:
+        op = insn.alu_op
+        if op == AluOp.END:
+            direction = "le" if insn.src_operand == SrcOperand.K else "be"
+            return f"{direction}{insn.imm} r{insn.dst}"
+        width = "64" if insn.is_alu64 else "32"
+        name = ALU_OP_NAMES[op]
+        if op == AluOp.NEG:
+            return f"neg{width} r{insn.dst}"
+        operand = f"r{insn.src}" if insn.uses_reg_source else _fmt_imm(insn.imm)
+        return f"{name}{width} r{insn.dst}, {operand}"
+    if insn.is_load:
+        suffix = _SIZE_SUFFIX[insn.mem_size]
+        return f"ldx{suffix} r{insn.dst}, [r{insn.src}{_fmt_off(insn.off)}]"
+    if insn.is_store_reg:
+        suffix = _SIZE_SUFFIX[insn.mem_size]
+        return f"stx{suffix} [r{insn.dst}{_fmt_off(insn.off)}], r{insn.src}"
+    if insn.is_store_imm:
+        suffix = _SIZE_SUFFIX[insn.mem_size]
+        return f"st{suffix} [r{insn.dst}{_fmt_off(insn.off)}], {_fmt_imm(insn.imm)}"
+    if insn.is_xadd:
+        width = "64" if insn.mem_size == MemSize.DW else "32"
+        return f"xadd{width} [r{insn.dst}{_fmt_off(insn.off)}], r{insn.src}"
+    if insn.is_exit:
+        return "exit"
+    if insn.is_call:
+        name = _HELPER_NAME_BY_ID.get(insn.imm, str(insn.imm))
+        return f"call {name}"
+    if insn.is_unconditional_jump:
+        return f"ja {_fmt_jump(insn.off)}"
+    if insn.is_conditional_jump:
+        name = JMP_OP_NAMES[insn.jmp_op]
+        if insn.is_jump32:
+            name += "32"
+        operand = f"r{insn.src}" if insn.uses_reg_source else _fmt_imm(insn.imm)
+        return f"{name} r{insn.dst}, {operand}, {_fmt_jump(insn.off)}"
+    return (f".raw opcode={insn.opcode:#x} dst={insn.dst} src={insn.src} "
+            f"off={insn.off} imm={insn.imm}")
+
+
+def disassemble(instructions: Sequence[Instruction]) -> str:
+    """Render a whole program, one instruction per line with indices."""
+    lines = []
+    for index, insn in enumerate(instructions):
+        lines.append(f"{index:4d}: {format_instruction(insn)}")
+    return "\n".join(lines)
+
+
+def _fmt_imm(imm: int) -> str:
+    return str(imm) if -4096 < imm < 4096 else hex(imm & 0xFFFFFFFF)
+
+
+def _fmt_off(off: int) -> str:
+    return f"+{off}" if off >= 0 else str(off)
+
+
+def _fmt_jump(off: int) -> str:
+    return f"+{off}" if off >= 0 else str(off)
+
+
+# --------------------------------------------------------------------------- #
+# Assembly
+# --------------------------------------------------------------------------- #
+_MEM_RE = re.compile(r"\[\s*r(\d+)\s*([+-]\s*\d+)?\s*\]")
+_ALU_RE = re.compile(r"^(add|sub|mul|div|or|and|lsh|rsh|neg|mod|xor|mov|arsh)(32|64)$")
+_JMP_RE = re.compile(r"^(ja|jeq|jgt|jge|jset|jne|jsgt|jsge|jlt|jle|jslt|jsle)(32)?$")
+_END_RE = re.compile(r"^(le|be)(16|32|64)$")
+_LDX_RE = re.compile(r"^ldx(b|h|w|dw)$")
+_STX_RE = re.compile(r"^stx(b|h|w|dw)$")
+_ST_RE = re.compile(r"^st(b|h|w|dw)$")
+_XADD_RE = re.compile(r"^xadd(32|64)$")
+
+_ALU_BY_NAME = {name: op for op, name in ALU_OP_NAMES.items()}
+_JMP_BY_NAME = {name: op for op, name in JMP_OP_NAMES.items()}
+
+
+def _parse_int(token: str) -> int:
+    token = token.strip().replace(" ", "")
+    return int(token, 0)
+
+
+def _parse_reg(token: str) -> int:
+    token = token.strip().lower()
+    if not token.startswith("r") or not token[1:].isdigit():
+        raise AsmError(f"expected register, got {token!r}")
+    reg = int(token[1:])
+    if not 0 <= reg <= 10:
+        raise AsmError(f"register out of range: {token}")
+    return reg
+
+
+def _parse_mem(token: str) -> tuple[int, int]:
+    match = _MEM_RE.fullmatch(token.strip())
+    if not match:
+        raise AsmError(f"expected memory operand, got {token!r}")
+    reg = int(match.group(1))
+    off = _parse_int(match.group(2)) if match.group(2) else 0
+    return reg, off
+
+
+def _split_operands(rest: str) -> List[str]:
+    return [part.strip() for part in rest.split(",") if part.strip()] if rest else []
+
+
+def assemble_line(line: str) -> Instruction:
+    """Assemble a single line of text into an instruction."""
+    text = line.split(";")[0].split("//")[0].strip()
+    if not text:
+        raise AsmError("empty line")
+    parts = text.split(None, 1)
+    mnemonic = parts[0].lower()
+    operands = _split_operands(parts[1]) if len(parts) > 1 else []
+
+    if mnemonic == "exit":
+        return b.EXIT_INSN()
+    if mnemonic == "call":
+        (target,) = operands
+        helper_id = _HELPER_BY_NAME.get(target, None)
+        if helper_id is None:
+            helper_id = _parse_int(target)
+        return b.CALL_HELPER(int(helper_id))
+    if mnemonic == "nop":
+        return b.NOP_INSN()
+    if mnemonic in ("lddw", "ld_map_fd"):
+        dst, imm = operands
+        insn = b.LDDW(_parse_reg(dst), _parse_int(imm))
+        if mnemonic == "ld_map_fd":
+            insn = insn.with_fields(src=1)
+        return insn
+
+    match = _END_RE.match(mnemonic)
+    if match:
+        (dst,) = operands
+        builder = b.ENDIAN_LE if match.group(1) == "le" else b.ENDIAN_BE
+        return builder(_parse_reg(dst), int(match.group(2)))
+
+    match = _ALU_RE.match(mnemonic)
+    if match:
+        op = _ALU_BY_NAME[match.group(1)]
+        is64 = match.group(2) == "64"
+        if op == AluOp.NEG:
+            (dst,) = operands
+            insn_class = InsnClass.ALU64 if is64 else InsnClass.ALU
+            return Instruction(opcode=insn_class | AluOp.NEG | SrcOperand.K,
+                               dst=_parse_reg(dst))
+        dst, src = operands
+        dst_reg = _parse_reg(dst)
+        if src.lower().startswith("r") and src[1:].isdigit():
+            return (b.ALU64_REG if is64 else b.ALU32_REG)(op, dst_reg, _parse_reg(src))
+        return (b.ALU64_IMM if is64 else b.ALU32_IMM)(op, dst_reg, _parse_int(src))
+
+    match = _JMP_RE.match(mnemonic)
+    if match:
+        op = _JMP_BY_NAME[match.group(1)]
+        is32 = match.group(2) == "32"
+        if op == JmpOp.JA:
+            (off,) = operands
+            return b.JA(_parse_int(off))
+        dst, src, off = operands
+        dst_reg = _parse_reg(dst)
+        offset = _parse_int(off)
+        if src.lower().startswith("r") and src[1:].isdigit():
+            builder = b.JMP32_REG if is32 else b.JMP_REG
+            return builder(op, dst_reg, _parse_reg(src), offset)
+        builder = b.JMP32_IMM if is32 else b.JMP_IMM
+        return builder(op, dst_reg, _parse_int(src), offset)
+
+    match = _LDX_RE.match(mnemonic)
+    if match:
+        dst, mem = operands
+        src_reg, off = _parse_mem(mem)
+        return b.LDX_MEM(_SUFFIX_SIZE[match.group(1)], _parse_reg(dst), src_reg, off)
+
+    match = _STX_RE.match(mnemonic)
+    if match:
+        mem, src = operands
+        dst_reg, off = _parse_mem(mem)
+        return b.STX_MEM(_SUFFIX_SIZE[match.group(1)], dst_reg, _parse_reg(src), off)
+
+    match = _ST_RE.match(mnemonic)
+    if match:
+        mem, imm = operands
+        dst_reg, off = _parse_mem(mem)
+        return b.ST_MEM(_SUFFIX_SIZE[match.group(1)], dst_reg, off, _parse_int(imm))
+
+    match = _XADD_RE.match(mnemonic)
+    if match:
+        mem, src = operands
+        dst_reg, off = _parse_mem(mem)
+        size = MemSize.DW if match.group(1) == "64" else MemSize.W
+        return b.STX_XADD(size, dst_reg, _parse_reg(src), off)
+
+    raise AsmError(f"unknown mnemonic {mnemonic!r} in line {line!r}")
+
+
+_LABEL_DEF_RE = re.compile(r"^([A-Za-z_][\w]*):$")
+
+
+def _looks_like_number(token: str) -> bool:
+    try:
+        _parse_int(token)
+    except ValueError:
+        return False
+    return True
+
+
+def assemble(text: str) -> List[Instruction]:
+    """Assemble a multi-line program.
+
+    Blank lines and comments are skipped.  A line of the form ``name:``
+    defines a label at the position of the next instruction; jump targets may
+    then be written as label names instead of numeric offsets, e.g.::
+
+        jeq r1, 0, drop
+        ...
+        drop:
+        mov64 r0, 1
+        exit
+    """
+    instructions: List[Instruction] = []
+    labels: dict[str, int] = {}
+    fixups: List[tuple[int, str, int]] = []   # (insn index, label, line number)
+
+    for lineno, raw_line in enumerate(text.splitlines(), start=1):
+        stripped = raw_line.split(";")[0].split("//")[0].strip()
+        if not stripped:
+            continue
+        label_match = _LABEL_DEF_RE.match(stripped)
+        if label_match:
+            name = label_match.group(1)
+            if name in labels:
+                raise AsmError(f"line {lineno}: duplicate label {name!r}")
+            labels[name] = len(instructions)
+            continue
+        # Allow "NN:" index prefixes so disassembly round-trips.
+        stripped = re.sub(r"^\d+\s*:\s*", "", stripped)
+
+        # Jump instructions may name a label as their target.
+        mnemonic = stripped.split(None, 1)[0].lower()
+        pending_label = None
+        if _JMP_RE.match(mnemonic):
+            parts = stripped.split(None, 1)
+            operands = _split_operands(parts[1]) if len(parts) > 1 else []
+            if operands and not _looks_like_number(operands[-1]):
+                pending_label = operands[-1]
+                operands[-1] = "+0"
+                stripped = f"{parts[0]} {', '.join(operands)}"
+        try:
+            instructions.append(assemble_line(stripped))
+        except AsmError as exc:
+            raise AsmError(f"line {lineno}: {exc}") from exc
+        if pending_label is not None:
+            fixups.append((len(instructions) - 1, pending_label, lineno))
+
+    for index, label, lineno in fixups:
+        if label not in labels:
+            raise AsmError(f"line {lineno}: undefined label {label!r}")
+        offset = labels[label] - (index + 1)
+        instructions[index] = instructions[index].with_fields(off=offset)
+    return instructions

@@ -1,0 +1,337 @@
+"""Convenience constructors for BPF instructions.
+
+These are the building blocks used by the benchmark corpus, the tests and the
+examples.  Each function returns an immutable :class:`Instruction`.
+
+Naming convention follows the kernel macros: ``ALU64_IMM/ALU64_REG``,
+``ALU32_*``, ``JMP_*``, ``LDX_MEM``, ``ST_MEM``, ``STX_MEM``, ``STX_XADD``,
+``LD_MAP_FD``, ``CALL_HELPER`` and ``EXIT_INSN``.  On top of the raw forms we
+provide mnemonic-style shortcuts (``MOV64_REG``, ``ADD64_IMM``...) because
+they make the corpus programs much easier to read.
+"""
+
+from __future__ import annotations
+
+from .instruction import Instruction
+from .opcodes import AluOp, InsnClass, JmpOp, MemMode, MemSize, SrcOperand
+
+__all__ = [
+    "ALU64_IMM", "ALU64_REG", "ALU32_IMM", "ALU32_REG",
+    "MOV64_IMM", "MOV64_REG", "MOV32_IMM", "MOV32_REG",
+    "ADD64_IMM", "ADD64_REG", "SUB64_IMM", "SUB64_REG",
+    "MUL64_IMM", "MUL64_REG", "DIV64_IMM", "DIV64_REG",
+    "AND64_IMM", "AND64_REG", "OR64_IMM", "OR64_REG",
+    "XOR64_IMM", "XOR64_REG", "LSH64_IMM", "LSH64_REG",
+    "RSH64_IMM", "RSH64_REG", "ARSH64_IMM", "ARSH64_REG",
+    "NEG64", "MOD64_IMM", "MOD64_REG",
+    "ADD32_IMM", "ADD32_REG", "AND32_IMM", "OR32_IMM", "RSH32_IMM", "LSH32_IMM",
+    "ENDIAN_LE", "ENDIAN_BE",
+    "JMP_IMM", "JMP_REG", "JMP32_IMM", "JMP32_REG", "JA", "EXIT_INSN",
+    "JEQ_IMM", "JEQ_REG", "JNE_IMM", "JNE_REG", "JGT_IMM", "JGT_REG",
+    "JGE_IMM", "JLT_IMM", "JLE_IMM", "JSGT_IMM", "JSET_IMM",
+    "LDX_MEM", "ST_MEM", "STX_MEM", "STX_XADD", "LD_MAP_FD", "LDDW",
+    "CALL_HELPER", "NOP_INSN",
+]
+
+
+def _alu(insn_class: InsnClass, op: AluOp, src_kind: SrcOperand, dst: int,
+         src: int = 0, imm: int = 0) -> Instruction:
+    return Instruction(opcode=insn_class | op | src_kind, dst=dst, src=src, imm=imm)
+
+
+# --------------------------------------------------------------------------- #
+# Generic ALU builders
+# --------------------------------------------------------------------------- #
+def ALU64_IMM(op: AluOp, dst: int, imm: int) -> Instruction:
+    return _alu(InsnClass.ALU64, op, SrcOperand.K, dst, imm=imm)
+
+
+def ALU64_REG(op: AluOp, dst: int, src: int) -> Instruction:
+    return _alu(InsnClass.ALU64, op, SrcOperand.X, dst, src=src)
+
+
+def ALU32_IMM(op: AluOp, dst: int, imm: int) -> Instruction:
+    return _alu(InsnClass.ALU, op, SrcOperand.K, dst, imm=imm)
+
+
+def ALU32_REG(op: AluOp, dst: int, src: int) -> Instruction:
+    return _alu(InsnClass.ALU, op, SrcOperand.X, dst, src=src)
+
+
+# --------------------------------------------------------------------------- #
+# Mnemonic shortcuts (64-bit)
+# --------------------------------------------------------------------------- #
+def MOV64_IMM(dst: int, imm: int) -> Instruction:
+    return ALU64_IMM(AluOp.MOV, dst, imm)
+
+
+def MOV64_REG(dst: int, src: int) -> Instruction:
+    return ALU64_REG(AluOp.MOV, dst, src)
+
+
+def ADD64_IMM(dst: int, imm: int) -> Instruction:
+    return ALU64_IMM(AluOp.ADD, dst, imm)
+
+
+def ADD64_REG(dst: int, src: int) -> Instruction:
+    return ALU64_REG(AluOp.ADD, dst, src)
+
+
+def SUB64_IMM(dst: int, imm: int) -> Instruction:
+    return ALU64_IMM(AluOp.SUB, dst, imm)
+
+
+def SUB64_REG(dst: int, src: int) -> Instruction:
+    return ALU64_REG(AluOp.SUB, dst, src)
+
+
+def MUL64_IMM(dst: int, imm: int) -> Instruction:
+    return ALU64_IMM(AluOp.MUL, dst, imm)
+
+
+def MUL64_REG(dst: int, src: int) -> Instruction:
+    return ALU64_REG(AluOp.MUL, dst, src)
+
+
+def DIV64_IMM(dst: int, imm: int) -> Instruction:
+    return ALU64_IMM(AluOp.DIV, dst, imm)
+
+
+def DIV64_REG(dst: int, src: int) -> Instruction:
+    return ALU64_REG(AluOp.DIV, dst, src)
+
+
+def MOD64_IMM(dst: int, imm: int) -> Instruction:
+    return ALU64_IMM(AluOp.MOD, dst, imm)
+
+
+def MOD64_REG(dst: int, src: int) -> Instruction:
+    return ALU64_REG(AluOp.MOD, dst, src)
+
+
+def AND64_IMM(dst: int, imm: int) -> Instruction:
+    return ALU64_IMM(AluOp.AND, dst, imm)
+
+
+def AND64_REG(dst: int, src: int) -> Instruction:
+    return ALU64_REG(AluOp.AND, dst, src)
+
+
+def OR64_IMM(dst: int, imm: int) -> Instruction:
+    return ALU64_IMM(AluOp.OR, dst, imm)
+
+
+def OR64_REG(dst: int, src: int) -> Instruction:
+    return ALU64_REG(AluOp.OR, dst, src)
+
+
+def XOR64_IMM(dst: int, imm: int) -> Instruction:
+    return ALU64_IMM(AluOp.XOR, dst, imm)
+
+
+def XOR64_REG(dst: int, src: int) -> Instruction:
+    return ALU64_REG(AluOp.XOR, dst, src)
+
+
+def LSH64_IMM(dst: int, imm: int) -> Instruction:
+    return ALU64_IMM(AluOp.LSH, dst, imm)
+
+
+def LSH64_REG(dst: int, src: int) -> Instruction:
+    return ALU64_REG(AluOp.LSH, dst, src)
+
+
+def RSH64_IMM(dst: int, imm: int) -> Instruction:
+    return ALU64_IMM(AluOp.RSH, dst, imm)
+
+
+def RSH64_REG(dst: int, src: int) -> Instruction:
+    return ALU64_REG(AluOp.RSH, dst, src)
+
+
+def ARSH64_IMM(dst: int, imm: int) -> Instruction:
+    return ALU64_IMM(AluOp.ARSH, dst, imm)
+
+
+def ARSH64_REG(dst: int, src: int) -> Instruction:
+    return ALU64_REG(AluOp.ARSH, dst, src)
+
+
+def NEG64(dst: int) -> Instruction:
+    return ALU64_IMM(AluOp.NEG, dst, 0)
+
+
+# --------------------------------------------------------------------------- #
+# Mnemonic shortcuts (32-bit)
+# --------------------------------------------------------------------------- #
+def MOV32_IMM(dst: int, imm: int) -> Instruction:
+    return ALU32_IMM(AluOp.MOV, dst, imm)
+
+
+def MOV32_REG(dst: int, src: int) -> Instruction:
+    return ALU32_REG(AluOp.MOV, dst, src)
+
+
+def ADD32_IMM(dst: int, imm: int) -> Instruction:
+    return ALU32_IMM(AluOp.ADD, dst, imm)
+
+
+def ADD32_REG(dst: int, src: int) -> Instruction:
+    return ALU32_REG(AluOp.ADD, dst, src)
+
+
+def AND32_IMM(dst: int, imm: int) -> Instruction:
+    return ALU32_IMM(AluOp.AND, dst, imm)
+
+
+def OR32_IMM(dst: int, imm: int) -> Instruction:
+    return ALU32_IMM(AluOp.OR, dst, imm)
+
+
+def RSH32_IMM(dst: int, imm: int) -> Instruction:
+    return ALU32_IMM(AluOp.RSH, dst, imm)
+
+
+def LSH32_IMM(dst: int, imm: int) -> Instruction:
+    return ALU32_IMM(AluOp.LSH, dst, imm)
+
+
+def ENDIAN_LE(dst: int, width: int) -> Instruction:
+    """``le16/le32/le64 dst`` — convert to little endian (width in bits)."""
+    return Instruction(opcode=InsnClass.ALU | AluOp.END | SrcOperand.K,
+                       dst=dst, imm=width)
+
+
+def ENDIAN_BE(dst: int, width: int) -> Instruction:
+    """``be16/be32/be64 dst`` — convert to big endian (width in bits)."""
+    return Instruction(opcode=InsnClass.ALU | AluOp.END | SrcOperand.X,
+                       dst=dst, imm=width)
+
+
+# --------------------------------------------------------------------------- #
+# Jumps
+# --------------------------------------------------------------------------- #
+def JMP_IMM(op: JmpOp, dst: int, imm: int, off: int) -> Instruction:
+    return Instruction(opcode=InsnClass.JMP | op | SrcOperand.K,
+                       dst=dst, imm=imm, off=off)
+
+
+def JMP_REG(op: JmpOp, dst: int, src: int, off: int) -> Instruction:
+    return Instruction(opcode=InsnClass.JMP | op | SrcOperand.X,
+                       dst=dst, src=src, off=off)
+
+
+def JMP32_IMM(op: JmpOp, dst: int, imm: int, off: int) -> Instruction:
+    return Instruction(opcode=InsnClass.JMP32 | op | SrcOperand.K,
+                       dst=dst, imm=imm, off=off)
+
+
+def JMP32_REG(op: JmpOp, dst: int, src: int, off: int) -> Instruction:
+    return Instruction(opcode=InsnClass.JMP32 | op | SrcOperand.X,
+                       dst=dst, src=src, off=off)
+
+
+def JA(off: int) -> Instruction:
+    return Instruction(opcode=InsnClass.JMP | JmpOp.JA, off=off)
+
+
+def JEQ_IMM(dst: int, imm: int, off: int) -> Instruction:
+    return JMP_IMM(JmpOp.JEQ, dst, imm, off)
+
+
+def JEQ_REG(dst: int, src: int, off: int) -> Instruction:
+    return JMP_REG(JmpOp.JEQ, dst, src, off)
+
+
+def JNE_IMM(dst: int, imm: int, off: int) -> Instruction:
+    return JMP_IMM(JmpOp.JNE, dst, imm, off)
+
+
+def JNE_REG(dst: int, src: int, off: int) -> Instruction:
+    return JMP_REG(JmpOp.JNE, dst, src, off)
+
+
+def JGT_IMM(dst: int, imm: int, off: int) -> Instruction:
+    return JMP_IMM(JmpOp.JGT, dst, imm, off)
+
+
+def JGT_REG(dst: int, src: int, off: int) -> Instruction:
+    return JMP_REG(JmpOp.JGT, dst, src, off)
+
+
+def JGE_IMM(dst: int, imm: int, off: int) -> Instruction:
+    return JMP_IMM(JmpOp.JGE, dst, imm, off)
+
+
+def JLT_IMM(dst: int, imm: int, off: int) -> Instruction:
+    return JMP_IMM(JmpOp.JLT, dst, imm, off)
+
+
+def JLE_IMM(dst: int, imm: int, off: int) -> Instruction:
+    return JMP_IMM(JmpOp.JLE, dst, imm, off)
+
+
+def JSGT_IMM(dst: int, imm: int, off: int) -> Instruction:
+    return JMP_IMM(JmpOp.JSGT, dst, imm, off)
+
+
+def JSET_IMM(dst: int, imm: int, off: int) -> Instruction:
+    return JMP_IMM(JmpOp.JSET, dst, imm, off)
+
+
+def EXIT_INSN() -> Instruction:
+    return Instruction(opcode=InsnClass.JMP | JmpOp.EXIT)
+
+
+def CALL_HELPER(helper_id: int) -> Instruction:
+    return Instruction(opcode=InsnClass.JMP | JmpOp.CALL, imm=helper_id)
+
+
+def NOP_INSN() -> Instruction:
+    return JA(0)
+
+
+# --------------------------------------------------------------------------- #
+# Memory access
+# --------------------------------------------------------------------------- #
+def LDX_MEM(size: MemSize, dst: int, src: int, off: int) -> Instruction:
+    """``dst = *(size *)(src + off)``"""
+    return Instruction(opcode=InsnClass.LDX | MemMode.MEM | size,
+                       dst=dst, src=src, off=off)
+
+
+def ST_MEM(size: MemSize, dst: int, off: int, imm: int) -> Instruction:
+    """``*(size *)(dst + off) = imm``"""
+    return Instruction(opcode=InsnClass.ST | MemMode.MEM | size,
+                       dst=dst, off=off, imm=imm)
+
+
+def STX_MEM(size: MemSize, dst: int, src: int, off: int) -> Instruction:
+    """``*(size *)(dst + off) = src``"""
+    return Instruction(opcode=InsnClass.STX | MemMode.MEM | size,
+                       dst=dst, src=src, off=off)
+
+
+def STX_XADD(size: MemSize, dst: int, src: int, off: int) -> Instruction:
+    """``*(size *)(dst + off) += src`` (atomic add)."""
+    if size not in (MemSize.W, MemSize.DW):
+        raise ValueError("xadd supports only 32- and 64-bit widths")
+    return Instruction(opcode=InsnClass.STX | MemMode.XADD | size,
+                       dst=dst, src=src, off=off)
+
+
+def LDDW(dst: int, imm64: int) -> Instruction:
+    """``dst = imm64`` (occupies two raw instruction slots when encoded)."""
+    return Instruction(opcode=InsnClass.LD | MemMode.IMM | MemSize.DW,
+                       dst=dst, imm=imm64 & 0xFFFFFFFF, imm64=imm64 & ((1 << 64) - 1))
+
+
+def LD_MAP_FD(dst: int, map_fd: int) -> Instruction:
+    """Load a map file descriptor — the ``LD_MAP_ID`` pseudo instruction.
+
+    ``src`` is set to the kernel's ``BPF_PSEUDO_MAP_FD`` (1) marker so the
+    static analyses can soundly concretize which map a lookup refers to
+    (paper §5, optimization II).
+    """
+    insn = LDDW(dst, map_fd)
+    return insn.with_fields(src=1)

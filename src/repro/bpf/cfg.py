@@ -1,0 +1,208 @@
+"""Control-flow graph construction and analyses for BPF programs.
+
+The structure of BPF jump instructions allows the complete set of jump targets
+to be determined at compile time (paper §6), so the CFG over basic blocks is
+exact.  The analyses provided here back several parts of the system:
+
+* the safety checker (unreachable blocks, loops/back edges, out-of-bounds jumps),
+* the symbolic executor (topological ordering and per-block path conditions),
+* window-based verification (straight-line regions, dominance),
+* liveness analysis (predecessor/successor sets).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Set
+
+import networkx as nx
+
+from .instruction import Instruction
+
+__all__ = ["BasicBlock", "ControlFlowGraph", "build_cfg", "CfgError"]
+
+
+class CfgError(ValueError):
+    """Raised for structurally broken control flow (bad jump targets)."""
+
+
+@dataclasses.dataclass
+class BasicBlock:
+    """A maximal straight-line instruction sequence.
+
+    ``start`` and ``end`` are instruction indices; ``end`` is exclusive.
+    """
+
+    index: int
+    start: int
+    end: int
+    successors: List[int] = dataclasses.field(default_factory=list)
+    predecessors: List[int] = dataclasses.field(default_factory=list)
+
+    @property
+    def instruction_indices(self) -> range:
+        return range(self.start, self.end)
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+
+class ControlFlowGraph:
+    """CFG over basic blocks with cached analyses."""
+
+    def __init__(self, instructions: Sequence[Instruction],
+                 blocks: List[BasicBlock],
+                 block_of_insn: Dict[int, int]):
+        self.instructions = list(instructions)
+        self.blocks = blocks
+        self.block_of_insn = block_of_insn
+        self._graph: Optional[nx.DiGraph] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def entry_block(self) -> BasicBlock:
+        return self.blocks[0]
+
+    def block_containing(self, insn_index: int) -> BasicBlock:
+        return self.blocks[self.block_of_insn[insn_index]]
+
+    def graph(self) -> nx.DiGraph:
+        if self._graph is None:
+            graph = nx.DiGraph()
+            graph.add_nodes_from(block.index for block in self.blocks)
+            for block in self.blocks:
+                for successor in block.successors:
+                    graph.add_edge(block.index, successor)
+            self._graph = graph
+        return self._graph
+
+    # ------------------------------------------------------------------ #
+    # Analyses used by the safety checker (§6, control-flow safety)
+    # ------------------------------------------------------------------ #
+    def reachable_blocks(self) -> Set[int]:
+        graph = self.graph()
+        return {0} | set(nx.descendants(graph, 0)) if graph.has_node(0) else set()
+
+    def unreachable_blocks(self) -> List[int]:
+        reachable = self.reachable_blocks()
+        return [block.index for block in self.blocks
+                if block.index not in reachable]
+
+    def has_back_edge(self) -> bool:
+        """True if any control-flow edge goes backwards (a loop)."""
+        for block in self.blocks:
+            for successor in block.successors:
+                if successor <= block.index and self._edge_is_backward(block.index, successor):
+                    return True
+        return False
+
+    def _edge_is_backward(self, src: int, dst: int) -> bool:
+        # Blocks are created in instruction order, so an edge to an earlier
+        # (or the same) block is a back edge.
+        return self.blocks[dst].start <= self.blocks[src].start
+
+    def is_loop_free(self) -> bool:
+        graph = self.graph()
+        return nx.is_directed_acyclic_graph(graph)
+
+    def topological_order(self) -> List[int]:
+        """Topological order of blocks; raises CfgError if the CFG has loops."""
+        graph = self.graph()
+        try:
+            return list(nx.topological_sort(graph))
+        except nx.NetworkXUnfeasible as exc:
+            raise CfgError("control-flow graph contains a loop") from exc
+
+    def dominators(self) -> Dict[int, int]:
+        """Immediate dominator of every reachable block (entry maps to itself)."""
+        graph = self.graph()
+        return dict(nx.immediate_dominators(graph, 0))
+
+    def dominates(self, a: int, b: int) -> bool:
+        """True if block ``a`` dominates block ``b``."""
+        idom = self.dominators()
+        node = b
+        while True:
+            if node == a:
+                return True
+            parent = idom.get(node)
+            if parent is None or parent == node:
+                return a == node
+            node = parent
+
+    def can_reach(self, a: int, b: int) -> bool:
+        graph = self.graph()
+        if a == b:
+            return True
+        return nx.has_path(graph, a, b)
+
+    # ------------------------------------------------------------------ #
+    def longest_path_length(self) -> int:
+        """Length (in blocks) of the longest path through the CFG."""
+        graph = self.graph()
+        if not nx.is_directed_acyclic_graph(graph):
+            return len(self.blocks)
+        reachable = self.reachable_blocks()
+        sub = graph.subgraph(reachable)
+        if sub.number_of_nodes() == 0:
+            return 0
+        return nx.dag_longest_path_length(sub) + 1
+
+
+def _leaders(instructions: Sequence[Instruction]) -> List[int]:
+    """Instruction indices that start a basic block."""
+    leaders = {0}
+    for index, insn in enumerate(instructions):
+        if insn.is_exit:
+            if index + 1 < len(instructions):
+                leaders.add(index + 1)
+            continue
+        if insn.is_conditional_jump or insn.is_unconditional_jump:
+            target = index + 1 + insn.off
+            if not 0 <= target < len(instructions):
+                raise CfgError(f"insn {index}: jump target {target} out of range")
+            leaders.add(target)
+            if index + 1 < len(instructions):
+                leaders.add(index + 1)
+    return sorted(leaders)
+
+
+def build_cfg(instructions: Sequence[Instruction]) -> ControlFlowGraph:
+    """Split ``instructions`` into basic blocks and connect the edges."""
+    if not instructions:
+        raise CfgError("cannot build a CFG for an empty program")
+    leaders = _leaders(instructions)
+    blocks: List[BasicBlock] = []
+    block_of_insn: Dict[int, int] = {}
+    for block_index, start in enumerate(leaders):
+        end = leaders[block_index + 1] if block_index + 1 < len(leaders) else len(instructions)
+        block = BasicBlock(index=block_index, start=start, end=end)
+        blocks.append(block)
+        for insn_index in range(start, end):
+            block_of_insn[insn_index] = block_index
+
+    start_to_block = {block.start: block.index for block in blocks}
+    for block in blocks:
+        last_index = block.end - 1
+        last = instructions[last_index]
+        if last.is_exit:
+            continue
+        if last.is_unconditional_jump:
+            target = last_index + 1 + last.off
+            block.successors.append(start_to_block[target])
+        elif last.is_conditional_jump:
+            target = last_index + 1 + last.off
+            block.successors.append(start_to_block[target])
+            if last_index + 1 < len(instructions):
+                block.successors.append(start_to_block[last_index + 1])
+        else:
+            if last_index + 1 < len(instructions):
+                block.successors.append(start_to_block[last_index + 1])
+        # Deduplicate (a conditional jump with offset 0 has a single successor).
+        block.successors = list(dict.fromkeys(block.successors))
+
+    for block in blocks:
+        for successor in block.successors:
+            blocks[successor].predecessors.append(block.index)
+
+    return ControlFlowGraph(instructions, blocks, block_of_insn)

@@ -1,0 +1,140 @@
+"""Binary encoding and decoding of BPF programs.
+
+The kernel wire format packs every instruction into 8 bytes::
+
+    struct bpf_insn {
+        __u8  code;     /* opcode */
+        __u8  dst_reg:4, src_reg:4;
+        __s16 off;
+        __s32 imm;
+    };
+
+``LDDW`` (64-bit immediate load) occupies two consecutive 8-byte slots: the
+first carries the low 32 bits of the immediate, the second carries the high
+32 bits with a zero opcode.
+
+Because this reproduction represents ``LDDW`` as a single *logical*
+instruction and expresses jump offsets in logical units, the encoder converts
+jump offsets to raw-slot units on the way out and back on the way in, exactly
+the way the kernel's libbpf relocation pass keeps offsets consistent.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Sequence
+
+from .instruction import Instruction
+from .opcodes import InsnClass, MemMode, MemSize
+
+__all__ = ["encode_program", "decode_program", "EncodingError", "RAW_INSN_SIZE"]
+
+RAW_INSN_SIZE = 8
+_INSN_STRUCT = struct.Struct("<BBhi")
+
+
+class EncodingError(ValueError):
+    """Raised when a byte stream cannot be decoded into BPF instructions."""
+
+
+def _pack(code: int, dst: int, src: int, off: int, imm: int) -> bytes:
+    regs = (src << 4) | (dst & 0x0F)
+    # Wrap the immediate into the signed 32-bit range the struct expects.
+    imm_signed = imm & 0xFFFFFFFF
+    if imm_signed >= 1 << 31:
+        imm_signed -= 1 << 32
+    off_signed = off & 0xFFFF
+    if off_signed >= 1 << 15:
+        off_signed -= 1 << 16
+    return _INSN_STRUCT.pack(code, regs, off_signed, imm_signed)
+
+
+def _logical_to_slot_index(instructions: Sequence[Instruction]) -> List[int]:
+    """slot index of each logical instruction (LDDW uses two slots)."""
+    slots = []
+    cursor = 0
+    for insn in instructions:
+        slots.append(cursor)
+        cursor += 2 if insn.is_lddw else 1
+    slots.append(cursor)  # one-past-the-end sentinel
+    return slots
+
+
+def encode_program(instructions: Sequence[Instruction]) -> bytes:
+    """Encode logical instructions into the kernel's raw byte format."""
+    slot_of = _logical_to_slot_index(instructions)
+    chunks: List[bytes] = []
+    for index, insn in enumerate(instructions):
+        if insn.is_lddw:
+            imm64 = insn.imm64 if insn.imm64 is not None else insn.imm & 0xFFFFFFFF
+            low = imm64 & 0xFFFFFFFF
+            high = (imm64 >> 32) & 0xFFFFFFFF
+            chunks.append(_pack(insn.opcode, insn.dst, insn.src, 0, low))
+            chunks.append(_pack(0, 0, 0, 0, high))
+            continue
+        off = insn.off
+        if insn.is_jump and not insn.is_call and not insn.is_exit:
+            target = index + 1 + insn.off
+            off = slot_of[target] - (slot_of[index] + 1)
+        chunks.append(_pack(insn.opcode, insn.dst, insn.src, off, insn.imm))
+    return b"".join(chunks)
+
+
+def decode_program(data: bytes) -> List[Instruction]:
+    """Decode raw kernel bytes back into logical instructions."""
+    if len(data) % RAW_INSN_SIZE != 0:
+        raise EncodingError(
+            f"byte length {len(data)} is not a multiple of {RAW_INSN_SIZE}")
+    raw = [_INSN_STRUCT.unpack(data[i:i + RAW_INSN_SIZE])
+           for i in range(0, len(data), RAW_INSN_SIZE)]
+
+    # First pass: identify which raw slots begin a logical instruction.
+    logical_of_slot: dict[int, int] = {}
+    slot = 0
+    logical = 0
+    lddw_second_slots = set()
+    while slot < len(raw):
+        code, regs, off, imm = raw[slot]
+        logical_of_slot[slot] = logical
+        is_lddw = (code & 0x07) == InsnClass.LD and (code & 0xE0) == MemMode.IMM \
+            and (code & 0x18) == MemSize.DW
+        if is_lddw:
+            if slot + 1 >= len(raw):
+                raise EncodingError("truncated LDDW instruction")
+            lddw_second_slots.add(slot + 1)
+            slot += 2
+        else:
+            slot += 1
+        logical += 1
+    logical_of_slot[slot] = logical
+
+    # Second pass: build logical instructions and convert jump offsets.
+    instructions: List[Instruction] = []
+    slot = 0
+    while slot < len(raw):
+        code, regs, off, imm = raw[slot]
+        dst = regs & 0x0F
+        src = (regs >> 4) & 0x0F
+        is_lddw = (code & 0x07) == InsnClass.LD and (code & 0xE0) == MemMode.IMM \
+            and (code & 0x18) == MemSize.DW
+        if is_lddw:
+            _, _, _, imm_high = raw[slot + 1]
+            imm64 = (imm & 0xFFFFFFFF) | ((imm_high & 0xFFFFFFFF) << 32)
+            instructions.append(Instruction(opcode=code, dst=dst, src=src,
+                                            off=0, imm=imm & 0xFFFFFFFF,
+                                            imm64=imm64))
+            slot += 2
+            continue
+        insn = Instruction(opcode=code, dst=dst, src=src, off=off, imm=imm)
+        if insn.is_jump and not insn.is_call and not insn.is_exit:
+            target_slot = slot + 1 + off
+            if target_slot not in logical_of_slot or target_slot in lddw_second_slots:
+                raise EncodingError(
+                    f"slot {slot}: jump lands inside an LDDW pair or outside "
+                    f"the program")
+            logical_target = logical_of_slot[target_slot]
+            logical_index = logical_of_slot[slot]
+            insn = insn.with_fields(off=logical_target - (logical_index + 1))
+        instructions.append(insn)
+        slot += 1
+    return instructions

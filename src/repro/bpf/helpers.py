@@ -1,0 +1,142 @@
+"""BPF helper function registry.
+
+Helper functions are implemented by the kernel and invoked from BPF programs
+via ``CALL`` instructions whose 32-bit immediate carries the helper id
+(paper §2.1).  The calling convention passes arguments in r1..r5, returns the
+result in r0 and clobbers r1..r5.
+
+The registry captures the metadata both the interpreter and the symbolic
+formalization need: the number of arguments, whether the return value is a
+pointer (and to which memory region), and which arguments are pointers to
+memory holding keys/values (the source of the two-level aliasing discussed
+in §4.3 / Appendix B).
+
+Helper ids follow ``include/uapi/linux/bpf.h``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, Optional
+
+from .regions import MemRegion
+
+__all__ = [
+    "HelperId", "HelperSpec", "HELPERS", "helper_spec", "helper_num_args",
+    "XDP_ABORTED", "XDP_DROP", "XDP_PASS", "XDP_TX", "XDP_REDIRECT",
+]
+
+# XDP program return codes.
+XDP_ABORTED = 0
+XDP_DROP = 1
+XDP_PASS = 2
+XDP_TX = 3
+XDP_REDIRECT = 4
+
+
+class HelperId(enum.IntEnum):
+    """Kernel helper function numbers used in this reproduction."""
+
+    MAP_LOOKUP_ELEM = 1
+    MAP_UPDATE_ELEM = 2
+    MAP_DELETE_ELEM = 3
+    KTIME_GET_NS = 5
+    GET_PRANDOM_U32 = 7
+    GET_SMP_PROCESSOR_ID = 8
+    TAIL_CALL = 12
+    REDIRECT = 23
+    PERF_EVENT_OUTPUT = 25
+    XDP_ADJUST_HEAD = 44
+    REDIRECT_MAP = 51
+    XDP_ADJUST_META = 54
+    XDP_ADJUST_TAIL = 65
+    FIB_LOOKUP = 69
+    KTIME_GET_BOOT_NS = 125
+
+
+@dataclasses.dataclass(frozen=True)
+class HelperSpec:
+    """Static description of one helper function."""
+
+    helper_id: int
+    name: str
+    num_args: int
+    #: Region of the returned pointer, or None if the return value is scalar.
+    returns_pointer_to: Optional[MemRegion] = None
+    #: True when the return value may be NULL (forces a null check before use).
+    may_return_null: bool = False
+    #: Argument positions (1-based register numbers) that are pointers to
+    #: memory holding a map key.
+    key_ptr_args: tuple[int, ...] = ()
+    #: Argument positions that are pointers to memory holding a map value.
+    value_ptr_args: tuple[int, ...] = ()
+    #: Argument position (1-based) carrying the map reference, if any.
+    map_ptr_arg: Optional[int] = None
+    #: True if the helper reads or writes persistent state (maps, packet).
+    is_stateful: bool = False
+
+
+HELPERS: Dict[int, HelperSpec] = {}
+
+
+def _register(spec: HelperSpec) -> HelperSpec:
+    HELPERS[spec.helper_id] = spec
+    return spec
+
+
+_register(HelperSpec(
+    helper_id=HelperId.MAP_LOOKUP_ELEM, name="bpf_map_lookup_elem",
+    num_args=2, returns_pointer_to=MemRegion.MAP_VALUE, may_return_null=True,
+    key_ptr_args=(2,), map_ptr_arg=1, is_stateful=True))
+_register(HelperSpec(
+    helper_id=HelperId.MAP_UPDATE_ELEM, name="bpf_map_update_elem",
+    num_args=4, key_ptr_args=(2,), value_ptr_args=(3,), map_ptr_arg=1,
+    is_stateful=True))
+_register(HelperSpec(
+    helper_id=HelperId.MAP_DELETE_ELEM, name="bpf_map_delete_elem",
+    num_args=2, key_ptr_args=(2,), map_ptr_arg=1, is_stateful=True))
+_register(HelperSpec(
+    helper_id=HelperId.KTIME_GET_NS, name="bpf_ktime_get_ns", num_args=0))
+_register(HelperSpec(
+    helper_id=HelperId.GET_PRANDOM_U32, name="bpf_get_prandom_u32", num_args=0))
+_register(HelperSpec(
+    helper_id=HelperId.GET_SMP_PROCESSOR_ID, name="bpf_get_smp_processor_id",
+    num_args=0))
+_register(HelperSpec(
+    helper_id=HelperId.TAIL_CALL, name="bpf_tail_call", num_args=3,
+    map_ptr_arg=2, is_stateful=True))
+_register(HelperSpec(
+    helper_id=HelperId.REDIRECT, name="bpf_redirect", num_args=2))
+_register(HelperSpec(
+    helper_id=HelperId.PERF_EVENT_OUTPUT, name="bpf_perf_event_output",
+    num_args=5, map_ptr_arg=2, is_stateful=True))
+_register(HelperSpec(
+    helper_id=HelperId.XDP_ADJUST_HEAD, name="bpf_xdp_adjust_head",
+    num_args=2, is_stateful=True))
+_register(HelperSpec(
+    helper_id=HelperId.REDIRECT_MAP, name="bpf_redirect_map", num_args=3,
+    map_ptr_arg=1, is_stateful=True))
+_register(HelperSpec(
+    helper_id=HelperId.XDP_ADJUST_META, name="bpf_xdp_adjust_meta",
+    num_args=2, is_stateful=True))
+_register(HelperSpec(
+    helper_id=HelperId.XDP_ADJUST_TAIL, name="bpf_xdp_adjust_tail",
+    num_args=2, is_stateful=True))
+_register(HelperSpec(
+    helper_id=HelperId.FIB_LOOKUP, name="bpf_fib_lookup", num_args=4,
+    value_ptr_args=(2,), is_stateful=True))
+_register(HelperSpec(
+    helper_id=HelperId.KTIME_GET_BOOT_NS, name="bpf_ktime_get_boot_ns",
+    num_args=0))
+
+
+def helper_spec(helper_id: int) -> HelperSpec:
+    """Look up the spec for ``helper_id``; raises KeyError if unknown."""
+    return HELPERS[helper_id]
+
+
+def helper_num_args(helper_id: int) -> int:
+    """Number of argument registers a helper reads (0 if unknown)."""
+    spec = HELPERS.get(helper_id)
+    return spec.num_args if spec is not None else 5

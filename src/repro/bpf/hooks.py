@@ -1,0 +1,152 @@
+"""BPF program types (attachment hooks) and their calling conventions.
+
+A BPF program's input and output registers depend on the kernel hook it
+attaches to (paper §4): an XDP program receives a pointer to ``struct xdp_md``
+in r1 and returns an XDP action in r0, a socket filter receives a
+``__sk_buff`` pointer, a tracepoint receives its argument record, and so on.
+
+The equivalence checker, the interpreter and the test-case generator all use
+the :class:`Hook` description to fix the program's inputs and outputs
+appropriately.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, Optional, Tuple
+
+from .regions import MemRegion
+
+__all__ = ["CtxFieldKind", "CtxField", "Hook", "HookType", "HOOKS", "get_hook"]
+
+
+class CtxFieldKind(enum.Enum):
+    """What a context field contains once loaded into a register."""
+
+    SCALAR = "scalar"
+    PACKET_PTR = "packet_ptr"          # becomes a pointer to packet start
+    PACKET_END_PTR = "packet_end_ptr"  # becomes the data_end sentinel
+
+
+@dataclasses.dataclass(frozen=True)
+class CtxField:
+    """One field of the context structure."""
+
+    name: str
+    offset: int
+    size: int
+    kind: CtxFieldKind = CtxFieldKind.SCALAR
+
+
+class HookType(enum.Enum):
+    """The program types exercised by the benchmark corpus."""
+
+    XDP = "xdp"
+    SOCKET_FILTER = "socket_filter"
+    TRACEPOINT = "tracepoint"
+    CGROUP_SOCK_ADDR = "cgroup_sock_addr"
+
+
+@dataclasses.dataclass(frozen=True)
+class Hook:
+    """Input/output convention of one BPF attachment point."""
+
+    hook_type: HookType
+    name: str
+    ctx_size: int
+    fields: Tuple[CtxField, ...]
+    #: Inclusive range of legal r0 return values (None = any 64-bit value).
+    return_range: Optional[Tuple[int, int]] = None
+    #: Whether the hook provides packet data reachable through ctx fields.
+    has_packet: bool = True
+
+    def field_by_offset(self, offset: int) -> Optional[CtxField]:
+        for field in self.fields:
+            if field.offset == offset:
+                return field
+        return None
+
+    def field(self, name: str) -> CtxField:
+        for field in self.fields:
+            if field.name == name:
+                return field
+        raise KeyError(name)
+
+    @property
+    def input_region(self) -> MemRegion:
+        return MemRegion.CTX
+
+
+# --------------------------------------------------------------------------- #
+# Context structure layouts (subset of the kernel UAPI structs)
+# --------------------------------------------------------------------------- #
+_XDP_MD_FIELDS = (
+    CtxField("data", 0, 4, CtxFieldKind.PACKET_PTR),
+    CtxField("data_end", 4, 4, CtxFieldKind.PACKET_END_PTR),
+    CtxField("data_meta", 8, 4, CtxFieldKind.PACKET_PTR),
+    CtxField("ingress_ifindex", 12, 4),
+    CtxField("rx_queue_index", 16, 4),
+)
+
+_SK_BUFF_FIELDS = (
+    CtxField("len", 0, 4),
+    CtxField("pkt_type", 4, 4),
+    CtxField("mark", 8, 4),
+    CtxField("queue_mapping", 12, 4),
+    CtxField("protocol", 16, 4),
+    CtxField("vlan_present", 20, 4),
+    CtxField("vlan_tci", 24, 4),
+    CtxField("priority", 32, 4),
+    CtxField("ingress_ifindex", 36, 4),
+    CtxField("ifindex", 40, 4),
+    CtxField("hash", 44, 4),
+    CtxField("data", 76, 4, CtxFieldKind.PACKET_PTR),
+    CtxField("data_end", 80, 4, CtxFieldKind.PACKET_END_PTR),
+)
+
+_TRACEPOINT_OPEN_FIELDS = (
+    CtxField("common_type", 0, 2),
+    CtxField("common_flags", 2, 1),
+    CtxField("common_preempt_count", 3, 1),
+    CtxField("common_pid", 4, 4),
+    CtxField("syscall_nr", 8, 8),
+    CtxField("filename_ptr", 16, 8),
+    CtxField("flags", 24, 8),
+    CtxField("mode", 32, 8),
+)
+
+_SOCK_ADDR_FIELDS = (
+    CtxField("user_family", 0, 4),
+    CtxField("user_ip4", 4, 4),
+    CtxField("user_ip6_0", 8, 4),
+    CtxField("user_ip6_1", 12, 4),
+    CtxField("user_ip6_2", 16, 4),
+    CtxField("user_ip6_3", 20, 4),
+    CtxField("user_port", 24, 4),
+    CtxField("family", 28, 4),
+    CtxField("type", 32, 4),
+    CtxField("protocol", 36, 4),
+    CtxField("msg_src_ip4", 40, 4),
+)
+
+HOOKS: Dict[HookType, Hook] = {
+    HookType.XDP: Hook(
+        hook_type=HookType.XDP, name="xdp", ctx_size=20,
+        fields=_XDP_MD_FIELDS, return_range=(0, 4), has_packet=True),
+    HookType.SOCKET_FILTER: Hook(
+        hook_type=HookType.SOCKET_FILTER, name="socket_filter", ctx_size=84,
+        fields=_SK_BUFF_FIELDS, return_range=None, has_packet=True),
+    HookType.TRACEPOINT: Hook(
+        hook_type=HookType.TRACEPOINT, name="tracepoint", ctx_size=40,
+        fields=_TRACEPOINT_OPEN_FIELDS, return_range=(0, 1), has_packet=False),
+    HookType.CGROUP_SOCK_ADDR: Hook(
+        hook_type=HookType.CGROUP_SOCK_ADDR, name="cgroup_sock_addr",
+        ctx_size=44, fields=_SOCK_ADDR_FIELDS, return_range=(0, 1),
+        has_packet=False),
+}
+
+
+def get_hook(hook_type: HookType) -> Hook:
+    """Return the :class:`Hook` description for ``hook_type``."""
+    return HOOKS[hook_type]

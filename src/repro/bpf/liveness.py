@@ -1,0 +1,105 @@
+"""Register liveness analysis.
+
+A backward may-analysis over the CFG.  It is used by:
+
+* window-based (modular) verification — live-in registers form the window
+  precondition and live-out registers the postcondition (paper §5 IV),
+* dead-code elimination during program canonicalization (paper §5 V),
+* the synthesizer's cost heuristics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence, Set
+
+from .cfg import ControlFlowGraph, build_cfg
+from .instruction import Instruction
+
+__all__ = ["LivenessInfo", "compute_liveness", "dead_code_eliminate"]
+
+
+class LivenessInfo:
+    """Per-instruction live-in / live-out register sets."""
+
+    def __init__(self, live_in: List[FrozenSet[int]], live_out: List[FrozenSet[int]]):
+        self.live_in = live_in
+        self.live_out = live_out
+
+    def live_in_at(self, index: int) -> FrozenSet[int]:
+        return self.live_in[index]
+
+    def live_out_at(self, index: int) -> FrozenSet[int]:
+        return self.live_out[index]
+
+
+def compute_liveness(instructions: Sequence[Instruction],
+                     cfg: ControlFlowGraph | None = None) -> LivenessInfo:
+    """Compute register liveness for every instruction.
+
+    The exit value lives in r0, so r0 is live-out of every EXIT instruction.
+    Calls read their argument registers and define r0-r5 (clobbering), which
+    the instruction-level def/use sets already capture.
+    """
+    cfg = cfg or build_cfg(instructions)
+    n = len(instructions)
+    live_in: List[Set[int]] = [set() for _ in range(n)]
+    live_out: List[Set[int]] = [set() for _ in range(n)]
+
+    # Iterate to a fixed point.  For loop-free programs a single reverse pass
+    # over a topological order suffices, but the fixed-point loop keeps the
+    # analysis correct even for (unsafe) looping candidates.
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(cfg.blocks):
+            for index in reversed(range(block.start, block.end)):
+                insn = instructions[index]
+                if index == block.end - 1:
+                    out: Set[int] = set()
+                    if insn.is_exit:
+                        out = {0}
+                    else:
+                        for successor in block.successors:
+                            out |= live_in[cfg.blocks[successor].start]
+                        if not insn.is_branch and index + 1 < n:
+                            out |= live_in[index + 1]
+                else:
+                    out = set(live_in[index + 1])
+                new_in = set(insn.regs_read()) | (out - set(insn.regs_written()))
+                if out != live_out[index] or new_in != live_in[index]:
+                    live_out[index] = out
+                    live_in[index] = new_in
+                    changed = True
+
+    return LivenessInfo([frozenset(s) for s in live_in],
+                        [frozenset(s) for s in live_out])
+
+
+def dead_code_eliminate(instructions: Sequence[Instruction]) -> List[Instruction]:
+    """Replace side-effect-free dead instructions with NOPs.
+
+    An instruction is dead when every register it writes is dead afterwards
+    and it has no side effects (memory stores, helper calls and control flow
+    are always kept).  This is the canonicalization used before consulting
+    the equivalence-check cache (paper §5 V).
+    """
+    from .instruction import NOP
+
+    result = list(instructions)
+    changed = True
+    while changed:
+        changed = False
+        liveness = compute_liveness(result)
+        for index, insn in enumerate(result):
+            if insn.is_nop or insn.is_branch or insn.is_call:
+                continue
+            if insn.is_store or insn.is_xadd:
+                continue
+            written = insn.regs_written()
+            if not written:
+                continue
+            if written & liveness.live_out_at(index):
+                continue
+            result[index] = NOP
+            changed = True
+    return result

@@ -1,0 +1,191 @@
+"""BPF map model.
+
+A BPF *map* is persistent key/value storage shared between the kernel and
+user space.  Programs interact with maps exclusively through helper functions
+(``bpf_map_lookup_elem``/``update``/``delete``) whose arguments are pointers
+to memory holding the key and value (paper §2.1, §4.3, Appendix B).
+
+This module provides:
+
+* :class:`MapDef` — the compile-time definition (type, key/value sizes,
+  maximum entries) referenced by ``LD_MAP_FD`` pseudo instructions.
+* :class:`MapState` — the run-time contents of one map used by the
+  interpreter, including the flat-address allocation of value cells so that
+  the pointer returned by a lookup behaves like kernel memory.
+* :class:`MapEnvironment` — the collection of maps available to a program,
+  i.e. the analogue of the relocated map file descriptors in a loaded object
+  file.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, Iterable, Optional
+
+from .regions import MAP_VALUE_BASE
+
+__all__ = ["MapType", "MapDef", "MapState", "MapEnvironment"]
+
+
+class MapType(enum.Enum):
+    """The subset of kernel map types used by the benchmark corpus."""
+
+    HASH = "hash"
+    ARRAY = "array"
+    PERCPU_ARRAY = "percpu_array"
+    DEVMAP = "devmap"
+    CPUMAP = "cpumap"
+    LPM_TRIE = "lpm_trie"
+    LRU_HASH = "lru_hash"
+
+
+@dataclasses.dataclass(frozen=True)
+class MapDef:
+    """Compile-time map definition (the analogue of ``struct bpf_map_def``)."""
+
+    fd: int
+    name: str
+    map_type: MapType
+    key_size: int
+    value_size: int
+    max_entries: int
+
+    def __post_init__(self) -> None:
+        if self.key_size <= 0 or self.value_size <= 0:
+            raise ValueError("key_size and value_size must be positive")
+        if self.max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+
+
+class MapState:
+    """Runtime contents of a single map.
+
+    Keys are stored as ``bytes`` of length ``key_size``; values are mutable
+    ``bytearray`` objects of length ``value_size``.  Each value cell is
+    assigned a stable flat address in the MAP_VALUE region so that lookups
+    return genuine pointers the program can do arithmetic on.
+    """
+
+    def __init__(self, definition: MapDef, base_address: Optional[int] = None):
+        self.definition = definition
+        self._entries: Dict[bytes, bytearray] = {}
+        self._addresses: Dict[bytes, int] = {}
+        self._base = base_address if base_address is not None else (
+            MAP_VALUE_BASE + definition.fd * 0x100_0000)
+        self._next_slot = 0
+        if definition.map_type in (MapType.ARRAY, MapType.PERCPU_ARRAY,
+                                   MapType.DEVMAP, MapType.CPUMAP):
+            # Array-like maps are pre-populated with zeroed values, matching
+            # kernel behaviour: lookups of any index < max_entries succeed.
+            for index in range(definition.max_entries):
+                key = index.to_bytes(definition.key_size, "little")
+                self._allocate(key)
+
+    # ------------------------------------------------------------------ #
+    def _allocate(self, key: bytes) -> int:
+        if key not in self._entries:
+            self._entries[key] = bytearray(self.definition.value_size)
+            self._addresses[key] = self._base + self._next_slot * self.definition.value_size
+            self._next_slot += 1
+        return self._addresses[key]
+
+    def _check_key(self, key: bytes) -> bytes:
+        if len(key) != self.definition.key_size:
+            raise ValueError(
+                f"map {self.definition.name}: key size {len(key)} != "
+                f"{self.definition.key_size}")
+        return bytes(key)
+
+    # ------------------------------------------------------------------ #
+    # The three map helper operations (paper §2.1)
+    # ------------------------------------------------------------------ #
+    def lookup(self, key: bytes) -> int:
+        """Return the flat address of the value for ``key``, or 0 (NULL)."""
+        key = self._check_key(key)
+        if key not in self._entries:
+            return 0
+        return self._addresses[key]
+
+    def update(self, key: bytes, value: bytes) -> int:
+        """Insert or overwrite ``key`` with ``value``; returns 0 on success."""
+        key = self._check_key(key)
+        if len(value) != self.definition.value_size:
+            raise ValueError(
+                f"map {self.definition.name}: value size {len(value)} != "
+                f"{self.definition.value_size}")
+        if (key not in self._entries
+                and len(self._entries) >= self.definition.max_entries
+                and self.definition.map_type not in (MapType.LRU_HASH,)):
+            return -1  # -E2BIG, table full
+        self._allocate(key)
+        self._entries[key][:] = value
+        return 0
+
+    def delete(self, key: bytes) -> int:
+        """Delete ``key``.  Returns 0 if it existed, -1 (-ENOENT) otherwise."""
+        key = self._check_key(key)
+        if self.definition.map_type in (MapType.ARRAY, MapType.PERCPU_ARRAY,
+                                        MapType.DEVMAP, MapType.CPUMAP):
+            return -1  # array map entries cannot be deleted
+        if key not in self._entries:
+            return -1
+        del self._entries[key]
+        del self._addresses[key]
+        return 0
+
+    # ------------------------------------------------------------------ #
+    # Value memory access, used by the interpreter's load/store routing
+    # ------------------------------------------------------------------ #
+    def owns_address(self, address: int) -> bool:
+        for key, base in self._addresses.items():
+            if base <= address < base + self.definition.value_size:
+                return True
+        return False
+
+    def value_buffer(self, address: int) -> tuple[bytearray, int]:
+        """Return ``(buffer, offset)`` for a flat address inside a value."""
+        for key, base in self._addresses.items():
+            if base <= address < base + self.definition.value_size:
+                return self._entries[key], address - base
+        raise KeyError(f"address {address:#x} not inside map {self.definition.name}")
+
+    # ------------------------------------------------------------------ #
+    def items(self) -> Iterable[tuple[bytes, bytes]]:
+        return ((k, bytes(v)) for k, v in self._entries.items())
+
+    def snapshot(self) -> Dict[bytes, bytes]:
+        return {k: bytes(v) for k, v in self._entries.items()}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class MapEnvironment:
+    """All maps visible to a program, keyed by file descriptor."""
+
+    def __init__(self, definitions: Iterable[MapDef] = ()):
+        self._defs: Dict[int, MapDef] = {}
+        for definition in definitions:
+            self.add(definition)
+
+    def add(self, definition: MapDef) -> None:
+        if definition.fd in self._defs:
+            raise ValueError(f"duplicate map fd {definition.fd}")
+        self._defs[definition.fd] = definition
+
+    def definition(self, fd: int) -> MapDef:
+        return self._defs[fd]
+
+    def __contains__(self, fd: int) -> bool:
+        return fd in self._defs
+
+    def fds(self) -> list[int]:
+        return sorted(self._defs)
+
+    def definitions(self) -> list[MapDef]:
+        return [self._defs[fd] for fd in self.fds()]
+
+    def instantiate(self) -> Dict[int, MapState]:
+        """Create fresh runtime state for every map (used per test case)."""
+        return {fd: MapState(self._defs[fd]) for fd in self.fds()}

@@ -1,0 +1,434 @@
+"""Pointer provenance, concrete-offset and constant-value static analysis.
+
+Every pointer in a BPF program has well-defined provenance (paper §5,
+optimization I): it can be traced back to the stack pointer r10, the context
+pointer passed in r1, a map reference loaded by ``LD_MAP_FD``, or a pointer
+returned by a helper such as ``bpf_map_lookup_elem``.  This module implements
+the forward abstract interpretation that recovers, for every instruction:
+
+* the memory region each register points into (stack / packet / ctx /
+  map value / scalar),
+* the *concrete* offset into that region when it is compile-time known
+  (optimization III — memory offset concretization),
+* the concrete scalar value of registers when known (used for window
+  preconditions, §5 IV),
+* which map a map pointer refers to (optimization II — map concretization),
+* packet bounds established by ``data + N > data_end`` checks and the
+  null-ness of map-lookup results established by ``if (ptr != 0)`` checks —
+  both are needed by the memory-safety checker (§6).
+
+The analysis is sound but deliberately incomplete ("best effort", as in the
+paper): when it cannot prove a fact it reports ``None`` / ``UNKNOWN`` and the
+consumers fall back to the general symbolic encoding.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .cfg import ControlFlowGraph, build_cfg
+from .helpers import HELPERS, HelperId
+from .hooks import CtxFieldKind, Hook
+from .instruction import Instruction
+from .opcodes import STACK_SIZE, AluOp, JmpOp, MemSize
+from .regions import MemRegion
+
+__all__ = ["AbsValue", "AbstractState", "TypeAnalysis", "analyze_types"]
+
+_U64 = (1 << 64) - 1
+
+
+@dataclasses.dataclass(frozen=True)
+class AbsValue:
+    """Abstract value of one register at one program point."""
+
+    region: MemRegion = MemRegion.UNKNOWN
+    offset: Optional[int] = None     # concrete offset from the region base
+    const: Optional[int] = None      # concrete 64-bit value (scalars only)
+    map_fd: Optional[int] = None     # for MAP_PTR / MAP_VALUE provenance
+    maybe_null: bool = False         # pointer may be NULL (unchecked lookup)
+    initialized: bool = True         # False for never-written registers
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def scalar(const: Optional[int] = None) -> "AbsValue":
+        if const is not None:
+            const &= _U64
+        return AbsValue(region=MemRegion.SCALAR, const=const)
+
+    @staticmethod
+    def pointer(region: MemRegion, offset: Optional[int] = None,
+                map_fd: Optional[int] = None,
+                maybe_null: bool = False) -> "AbsValue":
+        return AbsValue(region=region, offset=offset, map_fd=map_fd,
+                        maybe_null=maybe_null)
+
+    @staticmethod
+    def uninitialized() -> "AbsValue":
+        return AbsValue(region=MemRegion.UNKNOWN, initialized=False)
+
+    @staticmethod
+    def unknown() -> "AbsValue":
+        return AbsValue(region=MemRegion.UNKNOWN)
+
+    @property
+    def is_pointer(self) -> bool:
+        return self.region not in (MemRegion.SCALAR, MemRegion.UNKNOWN)
+
+    def join(self, other: "AbsValue") -> "AbsValue":
+        """Least-upper-bound merge at control-flow joins."""
+        if self == other:
+            return self
+        initialized = self.initialized and other.initialized
+        if self.region == other.region:
+            return AbsValue(
+                region=self.region,
+                offset=self.offset if self.offset == other.offset else None,
+                const=self.const if self.const == other.const else None,
+                map_fd=self.map_fd if self.map_fd == other.map_fd else None,
+                maybe_null=self.maybe_null or other.maybe_null,
+                initialized=initialized)
+        return AbsValue(region=MemRegion.UNKNOWN, initialized=initialized)
+
+
+@dataclasses.dataclass
+class AbstractState:
+    """Abstract machine state: registers, tracked stack slots, packet bound."""
+
+    regs: Dict[int, AbsValue]
+    stack: Dict[int, AbsValue]          # keyed by concrete negative offset
+    stack_written: frozenset            # byte offsets known to be initialized
+    packet_bound: int                   # bytes of packet proven accessible
+
+    @staticmethod
+    def entry(hook: Hook) -> "AbstractState":
+        regs = {reg: AbsValue.uninitialized() for reg in range(11)}
+        regs[1] = AbsValue.pointer(MemRegion.CTX, offset=0)
+        regs[10] = AbsValue.pointer(MemRegion.STACK, offset=STACK_SIZE)
+        return AbstractState(regs=regs, stack={}, stack_written=frozenset(),
+                             packet_bound=0)
+
+    def copy(self) -> "AbstractState":
+        return AbstractState(regs=dict(self.regs), stack=dict(self.stack),
+                             stack_written=self.stack_written,
+                             packet_bound=self.packet_bound)
+
+    def join(self, other: "AbstractState") -> "AbstractState":
+        regs = {reg: self.regs[reg].join(other.regs[reg]) for reg in range(11)}
+        stack = {off: self.stack[off].join(other.stack[off])
+                 for off in self.stack.keys() & other.stack.keys()}
+        return AbstractState(
+            regs=regs, stack=stack,
+            stack_written=self.stack_written & other.stack_written,
+            packet_bound=min(self.packet_bound, other.packet_bound))
+
+
+class TypeAnalysis:
+    """Result of running :func:`analyze_types` over a program."""
+
+    def __init__(self, states_before: List[Optional[AbstractState]],
+                 cfg: ControlFlowGraph):
+        self.states_before = states_before
+        self.cfg = cfg
+
+    def state_before(self, index: int) -> Optional[AbstractState]:
+        return self.states_before[index]
+
+    def register_at(self, index: int, reg: int) -> AbsValue:
+        state = self.states_before[index]
+        if state is None:
+            return AbsValue.unknown()
+        return state.regs[reg]
+
+    def pointer_info(self, index: int) -> Tuple[MemRegion, Optional[int]]:
+        """Region and concrete offset of the memory access at ``index``."""
+        insn = self.cfg.instructions[index]
+        if not insn.is_memory:
+            return MemRegion.UNKNOWN, None
+        base_reg = insn.src if insn.is_load else insn.dst
+        value = self.register_at(index, base_reg)
+        offset = None
+        if value.offset is not None:
+            offset = value.offset + insn.off
+        return value.region, offset
+
+
+def _alu_scalar(op: AluOp, a: Optional[int], b: Optional[int],
+                is64: bool) -> Optional[int]:
+    """Constant-fold a scalar ALU operation when both operands are known."""
+    if a is None or b is None:
+        return None
+    mask = _U64 if is64 else 0xFFFFFFFF
+    a &= mask
+    b &= mask
+    shift_mask = 63 if is64 else 31
+    if op == AluOp.ADD:
+        result = a + b
+    elif op == AluOp.SUB:
+        result = a - b
+    elif op == AluOp.MUL:
+        result = a * b
+    elif op == AluOp.DIV:
+        result = 0 if b == 0 else a // b
+    elif op == AluOp.MOD:
+        result = a if b == 0 else a % b
+    elif op == AluOp.OR:
+        result = a | b
+    elif op == AluOp.AND:
+        result = a & b
+    elif op == AluOp.XOR:
+        result = a ^ b
+    elif op == AluOp.LSH:
+        result = a << (b & shift_mask)
+    elif op == AluOp.RSH:
+        result = a >> (b & shift_mask)
+    elif op == AluOp.ARSH:
+        width = 64 if is64 else 32
+        signed = a - (1 << width) if a >= (1 << (width - 1)) else a
+        result = signed >> (b & shift_mask)
+    elif op == AluOp.MOV:
+        result = b
+    else:
+        return None
+    return result & mask
+
+
+def _transfer(state: AbstractState, insn: Instruction, hook: Hook,
+              insn_index: int) -> AbstractState:
+    """Apply one instruction to the abstract state (ignoring control flow)."""
+    state = state.copy()
+    regs = state.regs
+
+    if insn.is_nop:
+        return state
+
+    if insn.is_lddw:
+        if insn.src == 1:
+            regs[insn.dst] = AbsValue.pointer(MemRegion.MAP_PTR, map_fd=insn.imm)
+        else:
+            regs[insn.dst] = AbsValue.scalar(insn.imm64 or insn.imm)
+        return state
+
+    if insn.is_alu:
+        op = insn.alu_op
+        dst_val = regs[insn.dst]
+        is64 = insn.is_alu64
+        if op == AluOp.END:
+            regs[insn.dst] = AbsValue.scalar(None)
+            return state
+        if op == AluOp.NEG:
+            const = None
+            if dst_val.region == MemRegion.SCALAR and dst_val.const is not None:
+                mask = _U64 if is64 else 0xFFFFFFFF
+                const = (-dst_val.const) & mask
+            regs[insn.dst] = AbsValue.scalar(const)
+            return state
+        if insn.uses_reg_source:
+            src_val = regs[insn.src]
+        else:
+            src_val = AbsValue.scalar(insn.imm)
+        if op == AluOp.MOV:
+            if is64:
+                regs[insn.dst] = src_val
+            else:
+                const = None
+                if src_val.region == MemRegion.SCALAR and src_val.const is not None:
+                    const = src_val.const & 0xFFFFFFFF
+                regs[insn.dst] = AbsValue.scalar(const)
+            return state
+        # Pointer arithmetic: ptr +/- scalar keeps the region.
+        if dst_val.is_pointer and is64 and op in (AluOp.ADD, AluOp.SUB):
+            delta = src_val.const if src_val.region == MemRegion.SCALAR else None
+            offset = None
+            if dst_val.offset is not None and delta is not None:
+                signed = delta if delta < (1 << 63) else delta - (1 << 64)
+                offset = dst_val.offset + (signed if op == AluOp.ADD else -signed)
+            regs[insn.dst] = AbsValue.pointer(
+                dst_val.region, offset=offset, map_fd=dst_val.map_fd,
+                maybe_null=dst_val.maybe_null)
+            return state
+        if dst_val.is_pointer and src_val.is_pointer and op == AluOp.SUB:
+            # ptr - ptr yields a scalar (packet length computations).
+            regs[insn.dst] = AbsValue.scalar(None)
+            return state
+        const = None
+        if (dst_val.region == MemRegion.SCALAR
+                and src_val.region == MemRegion.SCALAR):
+            const = _alu_scalar(op, dst_val.const, src_val.const, is64)
+        regs[insn.dst] = AbsValue.scalar(const)
+        return state
+
+    if insn.is_load:
+        base = regs[insn.src]
+        loaded = AbsValue.scalar(None)
+        if base.region == MemRegion.CTX and base.offset is not None:
+            field = hook.field_by_offset(base.offset + insn.off)
+            if field is not None:
+                if field.kind == CtxFieldKind.PACKET_PTR:
+                    loaded = AbsValue.pointer(MemRegion.PACKET, offset=0)
+                elif field.kind == CtxFieldKind.PACKET_END_PTR:
+                    loaded = AbsValue.pointer(MemRegion.PACKET_END, offset=0)
+        elif base.region == MemRegion.STACK and base.offset is not None:
+            slot = base.offset + insn.off
+            if insn.mem_size == MemSize.DW and slot in state.stack:
+                loaded = state.stack[slot]
+        regs[insn.dst] = loaded
+        return state
+
+    if insn.is_store or insn.is_xadd:
+        base = regs[insn.dst]
+        if base.region == MemRegion.STACK and base.offset is not None:
+            slot = base.offset + insn.off
+            width = insn.access_bytes
+            state.stack_written = state.stack_written | frozenset(
+                range(slot, slot + width))
+            if insn.is_store_reg and insn.mem_size == MemSize.DW:
+                state.stack[slot] = regs[insn.src]
+            elif insn.is_store_imm and insn.mem_size == MemSize.DW:
+                state.stack[slot] = AbsValue.scalar(insn.imm)
+            else:
+                state.stack.pop(slot, None)
+        return state
+
+    if insn.is_call:
+        spec = HELPERS.get(insn.imm)
+        result = AbsValue.scalar(None)
+        if spec is not None and spec.returns_pointer_to is not None:
+            map_fd = None
+            if spec.map_ptr_arg is not None:
+                map_arg = regs[spec.map_ptr_arg]
+                if map_arg.region == MemRegion.MAP_PTR:
+                    map_fd = map_arg.map_fd
+            result = AbsValue.pointer(spec.returns_pointer_to, offset=0,
+                                      map_fd=map_fd,
+                                      maybe_null=spec.may_return_null)
+        regs[0] = result
+        # r1-r5 are clobbered by the call and become unreadable (paper §6,
+        # kernel-checker-specific constraint 3).
+        for reg in range(1, 6):
+            regs[reg] = AbsValue.uninitialized()
+        return state
+
+    return state
+
+
+def _refine_branch(state: AbstractState, insn: Instruction,
+                   taken: bool) -> AbstractState:
+    """Refine the abstract state along one branch of a conditional jump.
+
+    Two refinements matter for safety checking:
+
+    * NULL checks on map-lookup results (``if (r0 != 0)``),
+    * packet bounds checks (``if (data + N > data_end) goto drop``).
+    """
+    state = state.copy()
+    if not insn.is_conditional_jump:
+        return state
+    op = insn.jmp_op
+    dst_val = state.regs[insn.dst]
+    src_is_imm = not insn.uses_reg_source
+    src_val = None if src_is_imm else state.regs[insn.src]
+
+    # --- NULL-check refinement -------------------------------------------- #
+    if src_is_imm and insn.imm == 0 and dst_val.is_pointer and dst_val.maybe_null:
+        # jeq rX, 0, +off : taken => rX is NULL ; fallthrough => rX non-NULL
+        if op == JmpOp.JEQ:
+            if taken:
+                state.regs[insn.dst] = AbsValue.scalar(0)
+            else:
+                state.regs[insn.dst] = dataclasses.replace(dst_val, maybe_null=False)
+        elif op == JmpOp.JNE:
+            if taken:
+                state.regs[insn.dst] = dataclasses.replace(dst_val, maybe_null=False)
+            else:
+                state.regs[insn.dst] = AbsValue.scalar(0)
+
+    # --- Packet bounds refinement ------------------------------------------ #
+    if src_val is not None:
+        pkt, end = None, None
+        pkt_on_dst = None
+        if (dst_val.region == MemRegion.PACKET
+                and src_val.region == MemRegion.PACKET_END):
+            pkt, end, pkt_on_dst = dst_val, src_val, True
+        elif (src_val.region == MemRegion.PACKET
+              and dst_val.region == MemRegion.PACKET_END):
+            pkt, end, pkt_on_dst = src_val, dst_val, False
+        if pkt is not None and pkt.offset is not None:
+            bound = pkt.offset
+            # Determine on which outcome "pkt + bound <= data_end" holds.
+            safe_taken: Optional[bool] = None
+            if pkt_on_dst:
+                if op in (JmpOp.JGT, JmpOp.JSGT):       # pkt > end -> taken=overflow
+                    safe_taken = False
+                elif op in (JmpOp.JLE, JmpOp.JSLE):     # pkt <= end -> taken=safe
+                    safe_taken = True
+                elif op in (JmpOp.JGE, JmpOp.JSGE):     # pkt >= end
+                    safe_taken = False
+                elif op in (JmpOp.JLT, JmpOp.JSLT):
+                    safe_taken = True
+            else:
+                if op in (JmpOp.JGT, JmpOp.JSGT):       # end > pkt  -> taken=safe
+                    safe_taken = True
+                elif op in (JmpOp.JLE, JmpOp.JSLE):
+                    safe_taken = False
+                elif op in (JmpOp.JGE, JmpOp.JSGE):     # end >= pkt -> taken=safe
+                    safe_taken = True
+                elif op in (JmpOp.JLT, JmpOp.JSLT):
+                    safe_taken = False
+            if safe_taken is not None and taken == safe_taken:
+                state.packet_bound = max(state.packet_bound, bound)
+    return state
+
+
+def analyze_types(instructions: Sequence[Instruction], hook: Hook,
+                  cfg: Optional[ControlFlowGraph] = None) -> TypeAnalysis:
+    """Run the provenance/offset/constant analysis over a whole program."""
+    cfg = cfg or build_cfg(instructions)
+    n = len(instructions)
+    states_before: List[Optional[AbstractState]] = [None] * n
+    block_entry: Dict[int, AbstractState] = {0: AbstractState.entry(hook)}
+
+    if cfg.is_loop_free():
+        order = cfg.topological_order()
+    else:
+        # Looping programs are unsafe; analyse in block order as a fallback
+        # so the safety checker still gets per-instruction information.
+        order = [block.index for block in cfg.blocks]
+
+    reachable = cfg.reachable_blocks()
+    for block_index in order:
+        if block_index not in reachable:
+            continue
+        block = cfg.blocks[block_index]
+        state = block_entry.get(block_index)
+        if state is None:
+            continue
+        for insn_index in range(block.start, block.end):
+            insn = instructions[insn_index]
+            states_before[insn_index] = state.copy()
+            if insn_index == block.end - 1 and insn.is_conditional_jump:
+                break
+            if insn.is_exit or insn.is_unconditional_jump:
+                break
+            state = _transfer(state, insn, hook, insn_index)
+
+        last_index = block.end - 1
+        last = instructions[last_index]
+        if last.is_exit:
+            continue
+        for successor in block.successors:
+            if last.is_conditional_jump:
+                taken_target = last_index + 1 + last.off
+                taken = cfg.blocks[successor].start == taken_target
+                succ_state = _refine_branch(state, last, taken)
+            else:
+                # Unconditional jumps have no register effect; ordinary
+                # fallthrough instructions were already applied in the loop.
+                succ_state = state.copy()
+            if successor in block_entry:
+                block_entry[successor] = block_entry[successor].join(succ_state)
+            else:
+                block_entry[successor] = succ_state
+
+    return TypeAnalysis(states_before, cfg)

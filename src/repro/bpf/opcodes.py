@@ -1,0 +1,175 @@
+"""Opcode definitions for the eBPF instruction set.
+
+The encoding follows the Linux kernel's layout: every instruction carries an
+8-bit opcode whose low 3 bits select the *instruction class* and whose
+remaining bits select the operation, the operand source (register vs.
+immediate) and, for memory instructions, the access size and addressing mode.
+
+Reference: "BPF instruction set" (iovisor/bpf-docs) and
+``include/uapi/linux/bpf.h``.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = [
+    "InsnClass",
+    "AluOp",
+    "JmpOp",
+    "SrcOperand",
+    "MemSize",
+    "MemMode",
+    "Register",
+    "MAX_INSNS",
+    "STACK_SIZE",
+    "NUM_REGISTERS",
+    "SIZE_BYTES",
+    "ALU_OP_NAMES",
+    "JMP_OP_NAMES",
+]
+
+#: Kernel limit for non-privileged program types (paper §1, footnote 2).
+MAX_INSNS = 4096
+
+#: BPF stack size in bytes (accessed via r10 with negative offsets).
+STACK_SIZE = 512
+
+#: r0..r10 (r10 is the read-only frame/stack pointer).
+NUM_REGISTERS = 11
+
+
+class InsnClass(enum.IntEnum):
+    """The 3-bit instruction class (lowest bits of the opcode byte)."""
+
+    LD = 0x00      # non-standard loads (LDDW 64-bit immediate)
+    LDX = 0x01     # load from memory into register
+    ST = 0x02      # store immediate into memory
+    STX = 0x03     # store register into memory
+    ALU = 0x04     # 32-bit arithmetic/logic
+    JMP = 0x05     # 64-bit jumps, call, exit
+    JMP32 = 0x06   # 32-bit compare jumps
+    ALU64 = 0x07   # 64-bit arithmetic/logic
+
+
+class AluOp(enum.IntEnum):
+    """ALU operation selector (high nibble of the opcode byte)."""
+
+    ADD = 0x00
+    SUB = 0x10
+    MUL = 0x20
+    DIV = 0x30
+    OR = 0x40
+    AND = 0x50
+    LSH = 0x60
+    RSH = 0x70
+    NEG = 0x80
+    MOD = 0x90
+    XOR = 0xA0
+    MOV = 0xB0
+    ARSH = 0xC0
+    END = 0xD0     # byte swap (endianness conversion)
+
+
+class JmpOp(enum.IntEnum):
+    """Jump operation selector (high nibble of the opcode byte)."""
+
+    JA = 0x00
+    JEQ = 0x10
+    JGT = 0x20
+    JGE = 0x30
+    JSET = 0x40
+    JNE = 0x50
+    JSGT = 0x60
+    JSGE = 0x70
+    CALL = 0x80
+    EXIT = 0x90
+    JLT = 0xA0
+    JLE = 0xB0
+    JSLT = 0xC0
+    JSLE = 0xD0
+
+
+class SrcOperand(enum.IntEnum):
+    """Whether the second operand is an immediate (K) or a register (X)."""
+
+    K = 0x00
+    X = 0x08
+
+
+class MemSize(enum.IntEnum):
+    """Memory access width selector."""
+
+    W = 0x00    # 4 bytes
+    H = 0x08    # 2 bytes
+    B = 0x10    # 1 byte
+    DW = 0x18   # 8 bytes
+
+
+class MemMode(enum.IntEnum):
+    """Memory addressing mode selector."""
+
+    IMM = 0x00    # used by LDDW (64-bit immediate load)
+    ABS = 0x20    # legacy packet access (unused by this reproduction)
+    IND = 0x40    # legacy packet access (unused by this reproduction)
+    MEM = 0x60    # regular register+offset addressing
+    XADD = 0xC0   # atomic add
+
+
+class Register(enum.IntEnum):
+    """Symbolic names for the eleven BPF registers."""
+
+    R0 = 0
+    R1 = 1
+    R2 = 2
+    R3 = 3
+    R4 = 4
+    R5 = 5
+    R6 = 6
+    R7 = 7
+    R8 = 8
+    R9 = 9
+    R10 = 10
+
+
+#: Number of bytes read/written for each :class:`MemSize`.
+SIZE_BYTES = {
+    MemSize.B: 1,
+    MemSize.H: 2,
+    MemSize.W: 4,
+    MemSize.DW: 8,
+}
+
+ALU_OP_NAMES = {
+    AluOp.ADD: "add",
+    AluOp.SUB: "sub",
+    AluOp.MUL: "mul",
+    AluOp.DIV: "div",
+    AluOp.OR: "or",
+    AluOp.AND: "and",
+    AluOp.LSH: "lsh",
+    AluOp.RSH: "rsh",
+    AluOp.NEG: "neg",
+    AluOp.MOD: "mod",
+    AluOp.XOR: "xor",
+    AluOp.MOV: "mov",
+    AluOp.ARSH: "arsh",
+    AluOp.END: "end",
+}
+
+JMP_OP_NAMES = {
+    JmpOp.JA: "ja",
+    JmpOp.JEQ: "jeq",
+    JmpOp.JGT: "jgt",
+    JmpOp.JGE: "jge",
+    JmpOp.JSET: "jset",
+    JmpOp.JNE: "jne",
+    JmpOp.JSGT: "jsgt",
+    JmpOp.JSGE: "jsge",
+    JmpOp.CALL: "call",
+    JmpOp.EXIT: "exit",
+    JmpOp.JLT: "jlt",
+    JmpOp.JLE: "jle",
+    JmpOp.JSLT: "jslt",
+    JmpOp.JSLE: "jsle",
+}

@@ -1,0 +1,59 @@
+"""Memory region (pointer provenance) definitions.
+
+Every pointer a BPF program can hold has a well-defined provenance (paper §5,
+optimization I): the stack, the packet, the context structure, a map value
+returned by ``bpf_map_lookup_elem``, or "not a pointer at all" (scalar).
+
+The interpreter gives every region a distinct base address in a flat 64-bit
+address space so that pointer arithmetic behaves like it does in the kernel,
+while loads and stores are routed back to the owning region by address range.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["MemRegion", "REGION_BASES", "STACK_BASE", "PACKET_BASE",
+           "CTX_BASE", "MAP_VALUE_BASE", "region_for_address"]
+
+
+class MemRegion(enum.Enum):
+    """Pointer provenance categories tracked by the static analyses."""
+
+    SCALAR = "scalar"          # not a pointer
+    STACK = "stack"            # the 512-byte program stack (r10-based)
+    PACKET = "packet"          # packet data (XDP data .. data_end)
+    PACKET_END = "packet_end"  # the data_end sentinel pointer
+    CTX = "ctx"                # the context structure (xdp_md, __sk_buff, ...)
+    MAP_VALUE = "map_value"    # value memory returned by map lookup
+    MAP_PTR = "map_ptr"        # a map object reference (from LD_MAP_FD)
+    UNKNOWN = "unknown"        # analysis could not determine provenance
+
+
+#: Base addresses used by the interpreter's flat address space.  They are far
+#: apart so that in-bounds pointer arithmetic can never cross regions.
+STACK_BASE = 0x1000_0000_0000
+PACKET_BASE = 0x2000_0000_0000
+CTX_BASE = 0x3000_0000_0000
+MAP_VALUE_BASE = 0x4000_0000_0000
+_REGION_SPAN = 0x1000_0000_0000
+
+REGION_BASES = {
+    MemRegion.STACK: STACK_BASE,
+    MemRegion.PACKET: PACKET_BASE,
+    MemRegion.CTX: CTX_BASE,
+    MemRegion.MAP_VALUE: MAP_VALUE_BASE,
+}
+
+
+def region_for_address(address: int) -> MemRegion:
+    """Map a flat interpreter address back to the region that owns it."""
+    if STACK_BASE <= address < STACK_BASE + _REGION_SPAN:
+        return MemRegion.STACK
+    if PACKET_BASE <= address < PACKET_BASE + _REGION_SPAN:
+        return MemRegion.PACKET
+    if CTX_BASE <= address < CTX_BASE + _REGION_SPAN:
+        return MemRegion.CTX
+    if MAP_VALUE_BASE <= address < MAP_VALUE_BASE + _REGION_SPAN:
+        return MemRegion.MAP_VALUE
+    return MemRegion.UNKNOWN

@@ -1,0 +1,47 @@
+"""Program transformations: NOP compaction.
+
+The stochastic search keeps candidate programs at a fixed length by replacing
+instructions with NOPs (``ja +0``); before a candidate is reported to the
+user the padding is removed and jump offsets are recomputed, yielding the
+drop-in replacement program whose instruction count the paper measures.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .instruction import Instruction
+
+__all__ = ["remove_nops"]
+
+
+def remove_nops(instructions: Sequence[Instruction]) -> List[Instruction]:
+    """Drop NOP instructions and rewrite jump offsets accordingly.
+
+    A jump that targets a removed NOP is redirected to the next surviving
+    instruction (or to one past the end of the program, which only happens
+    for fall-off-the-end targets that the validator rejects anyway).
+    """
+    keep = [not insn.is_nop for insn in instructions]
+    # new_index_of[i] = index of instruction i in the compacted program, where
+    # a removed instruction maps to the next surviving one.
+    new_index_of: List[int] = []
+    count = 0
+    for kept in keep:
+        new_index_of.append(count)
+        if kept:
+            count += 1
+    new_index_of.append(count)  # one-past-the-end sentinel
+
+    compacted: List[Instruction] = []
+    for index, insn in enumerate(instructions):
+        if not keep[index]:
+            continue
+        if insn.is_jump and not insn.is_call and not insn.is_exit:
+            old_target = index + 1 + insn.off
+            old_target = max(0, min(old_target, len(instructions)))
+            new_target = new_index_of[old_target]
+            new_off = new_target - (new_index_of[index] + 1)
+            insn = insn.with_fields(off=new_off)
+        compacted.append(insn)
+    return compacted

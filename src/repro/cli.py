@@ -1,0 +1,106 @@
+"""Command-line interface: ``k2 optimize``, ``k2 check``, ``k2 bench-list``.
+
+Examples::
+
+    k2 optimize program.s --hook xdp --iterations 2000
+    k2 check program.s --hook xdp
+    k2 corpus --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .bpf import BpfProgram, HookType, assemble, get_hook
+from .bpf.maps import MapEnvironment
+from .core import K2Compiler, OptimizationGoal
+from .corpus import all_benchmarks, get_benchmark
+from .safety import SafetyChecker
+from .verifier import KernelChecker
+
+__all__ = ["main"]
+
+
+def _load_program(path: str, hook_name: str) -> BpfProgram:
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    hook = HookType(hook_name)
+    return BpfProgram(instructions=assemble(text), hook=get_hook(hook),
+                      maps=MapEnvironment(), name=path)
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    if args.benchmark:
+        program = get_benchmark(args.benchmark).program()
+    else:
+        program = _load_program(args.program, args.hook)
+    goal = OptimizationGoal.LATENCY if args.goal == "latency" \
+        else OptimizationGoal.INSTRUCTION_COUNT
+    compiler = K2Compiler(goal=goal, iterations_per_chain=args.iterations,
+                          num_parameter_settings=args.settings, seed=args.seed)
+    result = compiler.optimize(program)
+    print(result.summary())
+    print()
+    print(result.optimized.to_text())
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    if args.benchmark:
+        program = get_benchmark(args.benchmark).program()
+    else:
+        program = _load_program(args.program, args.hook)
+    safety = SafetyChecker().check(program)
+    verdict = KernelChecker().load(program)
+    print(f"safety checker : {'safe' if safety.safe else 'UNSAFE'}")
+    for violation in safety.violations:
+        print(f"  - {violation}")
+    print(f"kernel checker : {'accepted' if verdict else 'REJECTED'} "
+          f"({verdict.reason}, {verdict.insns_processed} insns processed)")
+    return 0 if safety.safe and verdict.accepted else 1
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    for bench in all_benchmarks():
+        program = bench.program()
+        print(f"{bench.paper_index:2d}  {bench.name:20s} {bench.origin:9s} "
+              f"{len(program):4d} insns  {bench.description}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="k2", description="K2: synthesize safe and efficient BPF bytecode")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    optimize = sub.add_parser("optimize", help="optimize a BPF assembly file")
+    optimize.add_argument("program", nargs="?", help="path to a .s assembly file")
+    optimize.add_argument("--benchmark", help="optimize a corpus benchmark instead")
+    optimize.add_argument("--hook", default="xdp",
+                          choices=[h.value for h in HookType])
+    optimize.add_argument("--goal", default="size", choices=["size", "latency"])
+    optimize.add_argument("--iterations", type=int, default=2000)
+    optimize.add_argument("--settings", type=int, default=4)
+    optimize.add_argument("--seed", type=int, default=0)
+    optimize.set_defaults(func=_cmd_optimize)
+
+    check = sub.add_parser("check", help="run the safety and kernel checkers")
+    check.add_argument("program", nargs="?")
+    check.add_argument("--benchmark")
+    check.add_argument("--hook", default="xdp",
+                       choices=[h.value for h in HookType])
+    check.set_defaults(func=_cmd_check)
+
+    corpus = sub.add_parser("corpus", help="list the benchmark corpus")
+    corpus.set_defaults(func=_cmd_corpus)
+
+    args = parser.parse_args(argv)
+    if args.command in ("optimize", "check") and not args.program \
+            and not args.benchmark:
+        parser.error("provide a program file or --benchmark NAME")
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

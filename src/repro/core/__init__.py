@@ -1,0 +1,5 @@
+"""The K2 compiler public API."""
+
+from .compiler import CompilationResult, K2Compiler, OptimizationGoal
+
+__all__ = [name for name in dir() if not name.startswith("_")]

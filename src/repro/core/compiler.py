@@ -1,0 +1,151 @@
+"""The K2 compiler: the library's primary public entry point.
+
+``K2Compiler`` consumes a BPF program (bytecode built with the
+:mod:`repro.bpf` builders, assembled from text, or decoded from the kernel's
+binary format) and produces a safe, formally-equivalent, more compact or
+faster drop-in replacement, exactly as described in §2.3 of the paper.
+
+Typical usage::
+
+    from repro.bpf import BpfProgram, HookType, assemble
+    from repro.core import K2Compiler, OptimizationGoal
+
+    program = BpfProgram.create(assemble(source_text), HookType.XDP)
+    compiler = K2Compiler(goal=OptimizationGoal.INSTRUCTION_COUNT)
+    result = compiler.optimize(program)
+    print(result.summary())
+    optimized = result.optimized        # a BpfProgram, drop-in replacement
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from ..bpf.encoder import decode_program, encode_program
+from ..bpf.hooks import HookType
+from ..bpf.maps import MapEnvironment
+from ..bpf.program import BpfProgram
+from ..perf.latency_model import DEFAULT_LATENCY_MODEL
+from ..synthesis.cost import PerformanceGoal
+from ..synthesis.params import ParameterSetting, all_parameter_settings
+from ..synthesis.search import SearchOptions, SearchResult, Synthesizer
+from ..verifier import KernelChecker, KernelCheckerVerdict
+
+__all__ = ["OptimizationGoal", "CompilationResult", "K2Compiler"]
+
+#: Re-export with a friendlier name for library users.
+OptimizationGoal = PerformanceGoal
+
+
+@dataclasses.dataclass
+class CompilationResult:
+    """The outcome of one ``K2Compiler.optimize`` invocation."""
+
+    source: BpfProgram
+    optimized: BpfProgram
+    search: SearchResult
+    kernel_checker_verdict: KernelCheckerVerdict
+
+    # ------------------------------------------------------------------ #
+    @property
+    def improved(self) -> bool:
+        return self.search.best is not None and (
+            self.optimized.num_real_instructions
+            < self.source.num_real_instructions
+            or self.estimated_latency_gain > 0)
+
+    @property
+    def instruction_reduction(self) -> int:
+        return (self.source.num_real_instructions
+                - self.optimized.num_real_instructions)
+
+    @property
+    def compression_percent(self) -> float:
+        original = self.source.num_real_instructions
+        return 100.0 * self.instruction_reduction / original if original else 0.0
+
+    @property
+    def estimated_latency_gain(self) -> float:
+        return (DEFAULT_LATENCY_MODEL.program_cost(self.source)
+                - DEFAULT_LATENCY_MODEL.program_cost(self.optimized))
+
+    @property
+    def estimated_latency_gain_percent(self) -> float:
+        base = DEFAULT_LATENCY_MODEL.program_cost(self.source)
+        return 100.0 * self.estimated_latency_gain / base if base else 0.0
+
+    def to_bytes(self) -> bytes:
+        """The optimized program in the kernel's binary instruction format."""
+        return encode_program(self.optimized.instructions)
+
+    def summary(self) -> str:
+        lines = [
+            f"program:       {self.source.name}",
+            f"instructions:  {self.source.num_real_instructions} -> "
+            f"{self.optimized.num_real_instructions} "
+            f"({self.compression_percent:.2f}% smaller)",
+            f"est. latency:  {DEFAULT_LATENCY_MODEL.program_cost(self.source):.1f}ns -> "
+            f"{DEFAULT_LATENCY_MODEL.program_cost(self.optimized):.1f}ns",
+            f"kernel check:  {'accepted' if self.kernel_checker_verdict else 'REJECTED'}",
+            f"search:        {self.search.total_iterations()} iterations, "
+            f"{self.search.elapsed_seconds:.1f}s",
+        ]
+        return "\n".join(lines)
+
+
+class K2Compiler:
+    """Program-synthesis-based optimizing compiler for BPF bytecode."""
+
+    def __init__(self, goal: OptimizationGoal = OptimizationGoal.INSTRUCTION_COUNT,
+                 iterations_per_chain: int = 2000,
+                 num_parameter_settings: int = 4,
+                 top_k: Optional[int] = None,
+                 seed: int = 0,
+                 time_budget_seconds: Optional[float] = None,
+                 options: Optional[SearchOptions] = None):
+        if options is None:
+            options = SearchOptions(
+                goal=goal,
+                iterations_per_chain=iterations_per_chain,
+                num_parameter_settings=num_parameter_settings,
+                top_k=top_k if top_k is not None else (
+                    1 if goal == OptimizationGoal.INSTRUCTION_COUNT else 5),
+                seed=seed,
+                time_budget_seconds=time_budget_seconds)
+        self.options = options
+        self.kernel_checker = KernelChecker()
+
+    # ------------------------------------------------------------------ #
+    def optimize(self, program: BpfProgram,
+                 settings: Optional[List[ParameterSetting]] = None
+                 ) -> CompilationResult:
+        """Optimize ``program`` and return the best drop-in replacement.
+
+        The result always contains a program that is safe, equivalent to the
+        input and accepted by the kernel-checker model; if the search finds
+        nothing better, the original program is returned unchanged.
+        """
+        program.validate()
+        synthesizer = Synthesizer(self.options)
+        search = synthesizer.optimize(program, settings=settings)
+        optimized = search.best_program
+        verdict = self.kernel_checker.load(optimized)
+        if not verdict.accepted:
+            # Fail-safe post-processing (§6): fall back to the source program,
+            # which the user already knows the kernel accepts.
+            optimized = program
+            verdict = self.kernel_checker.load(program)
+        return CompilationResult(source=program, optimized=optimized,
+                                 search=search,
+                                 kernel_checker_verdict=verdict)
+
+    # ------------------------------------------------------------------ #
+    def optimize_bytes(self, raw: bytes,
+                       hook_type: HookType = HookType.XDP,
+                       maps: Optional[MapEnvironment] = None,
+                       name: str = "bpf_prog") -> CompilationResult:
+        """Optimize a program given in the kernel's binary instruction format."""
+        instructions = decode_program(raw)
+        program = BpfProgram.create(instructions, hook_type, maps, name)
+        return self.optimize(program)

@@ -1,0 +1,8 @@
+"""The 19-program benchmark corpus used by the evaluation harness."""
+
+from .programs import (
+    CORPUS, BenchmarkProgram, all_benchmarks, benchmark_names, get_benchmark,
+)
+from . import blocks
+
+__all__ = [name for name in dir() if not name.startswith("_")]

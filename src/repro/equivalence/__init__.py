@@ -1,0 +1,12 @@
+"""Formal equivalence checking of BPF programs (paper sections 4 and 5)."""
+
+from .memory_model import (
+    SymbolicInputs, RegionMemory, MemoryWrite, MapModel, MapLookupInstance,
+    MapEffect, HelperCallRecord, MODEL_PACKET_SIZE,
+)
+from .symbolic import SymbolicExecutor, SymbolicResult, ImpreciseEncodingError
+from .checker import EquivalenceChecker, EquivalenceOptions, EquivalenceResult
+from .window import Window, WindowEquivalenceChecker, select_windows
+from .cache import EquivalenceCache
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,78 @@
+"""Equivalence-check caching (paper §5, optimization V).
+
+Candidate programs produced by the stochastic search are frequently
+structurally similar — often differing only in dead instructions.  K2
+canonicalizes each candidate by removing dead code and caches the outcome of
+equivalence-checking the canonical form, eliminating the vast majority of
+solver calls (93%+ hit rates in Table 6).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..bpf.liveness import dead_code_eliminate
+from ..bpf.program import BpfProgram
+from .checker import EquivalenceResult
+
+__all__ = ["EquivalenceCache"]
+
+
+class EquivalenceCache:
+    """Maps canonicalized candidate programs to their equivalence verdicts."""
+
+    def __init__(self, max_entries: int = 1_000_000):
+        self._entries: Dict[Tuple, EquivalenceResult] = {}
+        self._max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def canonicalize(program: BpfProgram) -> Tuple:
+        """Canonical key: the structural key after dead-code elimination,
+        with NOPs dropped so programs that differ only in padding collide.
+
+        Candidates with broken control flow (e.g. a jump that falls off the
+        end of the program) cannot be analysed for liveness; they fall back
+        to their raw structural key — they will be rejected by the safety
+        checker anyway.
+        """
+        from ..bpf.cfg import CfgError
+
+        try:
+            canonical = dead_code_eliminate(program.instructions)
+        except CfgError:
+            canonical = list(program.instructions)
+        return tuple(
+            (insn.opcode, insn.dst, insn.src, insn.off, insn.imm, insn.imm64)
+            for insn in canonical if not insn.is_nop)
+
+    # ------------------------------------------------------------------ #
+    def lookup(self, program: BpfProgram) -> Optional[EquivalenceResult]:
+        key = self.canonicalize(program)
+        result = self._entries.get(key)
+        if result is not None:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return result
+
+    def store(self, program: BpfProgram, result: EquivalenceResult) -> None:
+        if len(self._entries) >= self._max_entries:
+            return
+        self._entries[self.canonicalize(program)] = result
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_entries(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": self.num_entries, "hit_rate": self.hit_rate}

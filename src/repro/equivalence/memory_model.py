@@ -1,0 +1,400 @@
+"""Symbolic memory, map and helper-call models for equivalence checking.
+
+This module implements the first-order-logic formalization of BPF memory
+accesses (paper §4.2), BPF maps and helper functions (§4.3, Appendix B), plus
+the domain-specific concretizations that keep the formulas small (§5 I–III):
+
+* **memory type concretization** — a separate write table per memory region,
+* **map type concretization** — a separate table per map,
+* **memory offset concretization** — when the pointer analysis proves an
+  access touches a compile-time-known offset, the aliasing clauses collapse
+  to compile-time booleans and usually disappear entirely.
+
+Memory is modelled at byte granularity: multi-byte stores are decomposed into
+per-byte writes and multi-byte loads concatenate per-byte reads, which is the
+paper's approach to partial overlaps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from ..bpf.hooks import CtxFieldKind, Hook
+from ..bpf.maps import MapEnvironment
+from ..bpf.regions import MemRegion
+from ..smt import (
+    Expr, TRUE, bool_and, bool_or, bool_not, bool_var, bv_and, bv_concat,
+    bv_const, bv_eq, bv_extract, bv_ite, bv_var, bv_zero_extend,
+)
+
+__all__ = ["SymbolicInputs", "MemoryWrite", "RegionMemory", "MapModel",
+           "MapLookupInstance", "MapEffect", "HelperCallRecord",
+           "MODEL_PACKET_SIZE"]
+
+#: Maximum packet size modelled symbolically (bytes).  Counterexamples and
+#: generated test packets fit within this bound.
+MODEL_PACKET_SIZE = 256
+
+
+class SymbolicInputs:
+    """The shared program inputs (identical for the two compared programs).
+
+    The equivalence query of §4 asserts "inputs to program 1 == inputs to
+    program 2"; we realize that by having both symbolic executions read the
+    *same* input variables.
+    """
+
+    def __init__(self, hook: Hook, maps: MapEnvironment):
+        self.hook = hook
+        self.maps = maps
+        # Region base addresses are symbolic so equivalence verdicts do not
+        # depend on any particular placement of the stack or packet.
+        self.stack_base = bv_var("input_stack_base", 64)
+        self.pkt_base = bv_var("input_pkt_base", 64)
+        self.ctx_base = bv_var("input_ctx_base", 64)
+        self.pkt_len = bv_var("input_pkt_len", 64)
+        self.time_ns = bv_var("input_time_ns", 64)
+        self.cpu_id = bv_var("input_cpu_id", 64)
+        self._ctx_fields: Dict[str, Expr] = {}
+        self._packet_bytes: Dict[int, Expr] = {}
+        self._stack_bytes: Dict[int, Expr] = {}
+        self._random: Dict[int, Expr] = {}
+
+    # -------------------------------------------------------------- #
+    def ctx_field(self, name: str, size: int) -> Expr:
+        expr = self._ctx_fields.get(name)
+        if expr is None:
+            expr = bv_var(f"input_ctx_{name}", 8 * size)
+            self._ctx_fields[name] = expr
+        return expr
+
+    def packet_byte(self, offset: int) -> Expr:
+        expr = self._packet_bytes.get(offset)
+        if expr is None:
+            expr = bv_var(f"input_pkt_{offset}", 8)
+            self._packet_bytes[offset] = expr
+        return expr
+
+    def stack_init_byte(self, offset: int) -> Expr:
+        """Initial (pre-execution) stack contents, shared by both programs."""
+        expr = self._stack_bytes.get(offset)
+        if expr is None:
+            expr = bv_var(f"input_stack_{offset}", 8)
+            self._stack_bytes[offset] = expr
+        return expr
+
+    def random_value(self, index: int) -> Expr:
+        expr = self._random.get(index)
+        if expr is None:
+            expr = bv_var(f"input_random_{index}", 64)
+            self._random[index] = expr
+        return expr
+
+    def constraints(self) -> List[Expr]:
+        """Well-formedness constraints on the inputs."""
+        from ..smt import bv_ule, bv_ult
+        constraints = [
+            bv_ule(self.pkt_len, bv_const(MODEL_PACKET_SIZE, 64)),
+            # Region bases are far apart and non-zero, mirroring the flat
+            # interpreter layout; this keeps pointer comparisons meaningful.
+            bv_eq(bv_and(self.stack_base, bv_const(0xFFF, 64)), bv_const(0, 64)),
+            bv_eq(bv_and(self.pkt_base, bv_const(0xFFF, 64)), bv_const(0, 64)),
+            bv_eq(bv_and(self.ctx_base, bv_const(0xFFF, 64)), bv_const(0, 64)),
+            bool_not(bv_eq(self.stack_base, bv_const(0, 64))),
+            bool_not(bv_eq(self.pkt_base, bv_const(0, 64))),
+            bool_not(bv_eq(self.ctx_base, bv_const(0, 64))),
+        ]
+        return constraints
+
+    # -------------------------------------------------------------- #
+    # Counterexample extraction helpers
+    # -------------------------------------------------------------- #
+    def extract_test_case(self, model) -> "ProgramInput":
+        """Build an interpreter test case from a satisfying assignment."""
+        from ..interpreter import ProgramInput
+
+        length = int(model.get(self.pkt_len, 64)) % (MODEL_PACKET_SIZE + 1)
+        length = max(length, 14) if self.hook.has_packet else length
+        packet = bytearray(length)
+        for offset, var in self._packet_bytes.items():
+            if 0 <= offset < length:
+                packet[offset] = model.get(var, 0) & 0xFF
+        ctx = {name: model.get(var, 0)
+               for name, var in self._ctx_fields.items()}
+        random_values = [model.get(var, 0) & 0xFFFFFFFF
+                         for _, var in sorted(self._random.items())] or [0]
+        return ProgramInput(packet=bytes(packet), ctx=ctx,
+                            random_values=random_values,
+                            time_ns=model.get(self.time_ns, 0),
+                            cpu_id=model.get(self.cpu_id, 0) & 0xFF)
+
+
+@dataclasses.dataclass
+class MemoryWrite:
+    """One byte-wide store recorded in a region's write table."""
+
+    address: Expr              # full 64-bit address expression
+    concrete_offset: Optional[int]  # offset from the region base, if known
+    value: Expr                # 8-bit value expression
+    condition: Expr            # path condition under which the write happens
+
+
+class RegionMemory:
+    """Write table and initial-content model for one memory region.
+
+    One instance exists per (program, region) pair; the *initial* contents
+    come from :class:`SymbolicInputs` and are shared across programs, which
+    encodes the "same inputs" side of the equivalence query.
+    """
+
+    def __init__(self, region: MemRegion, inputs: SymbolicInputs, prefix: str,
+                 concretize_offsets: bool = True):
+        self.region = region
+        self.inputs = inputs
+        self.prefix = prefix
+        #: §5 optimization III; disabled by the Table 4 ablation benchmark.
+        self.concretize_offsets = concretize_offsets
+        self.writes: List[MemoryWrite] = []
+        self._symbolic_init: Dict[Expr, Expr] = {}
+
+    # -------------------------------------------------------------- #
+    def initial_byte(self, address: Expr, concrete_offset: Optional[int]) -> Expr:
+        """The value of a byte before the program ran."""
+        if concrete_offset is not None:
+            if self.region == MemRegion.STACK:
+                return self.inputs.stack_init_byte(concrete_offset)
+            if self.region == MemRegion.PACKET:
+                return self.inputs.packet_byte(concrete_offset)
+            if self.region == MemRegion.CTX:
+                return self._ctx_byte(concrete_offset)
+        # Unknown offset: key the initial contents by the address expression
+        # itself.  Both programs reading a syntactically identical address get
+        # the same variable; differing-but-equal addresses make the check
+        # conservative (may reject, never wrongly accept).
+        cached = self._symbolic_init.get(address)
+        if cached is None:
+            cached = bv_var(f"init_{self.region.value}_{abs(hash(address)) & 0xFFFFFF:x}", 8)
+            self._symbolic_init[address] = cached
+        return cached
+
+    def _ctx_byte(self, offset: int) -> Expr:
+        for field in self.inputs.hook.fields:
+            if field.offset <= offset < field.offset + field.size:
+                value = self.inputs.ctx_field(field.name, field.size)
+                shift = offset - field.offset
+                return bv_extract(value, 8 * shift + 7, 8 * shift)
+        return bv_const(0, 8)
+
+    # -------------------------------------------------------------- #
+    def store_byte(self, address: Expr, concrete_offset: Optional[int],
+                   value: Expr, condition: Expr) -> None:
+        self.writes.append(MemoryWrite(address, concrete_offset, value, condition))
+
+    def load_byte(self, address: Expr, concrete_offset: Optional[int],
+                  condition: Expr) -> Expr:
+        """Most-recent-write semantics (paper §4.2 steps 1-3)."""
+        result = self.initial_byte(address, concrete_offset)
+        for write in self.writes:
+            matches = self._addresses_match(write, address, concrete_offset)
+            if matches is False:
+                continue
+            match_expr = TRUE if matches is True else bv_eq(write.address, address)
+            result = bv_ite(bool_and(write.condition, match_expr),
+                            write.value, result)
+        return result
+
+    def _addresses_match(self, write: MemoryWrite, address: Expr,
+                         concrete_offset: Optional[int]):
+        """Decide aliasing at compile time when both offsets are concrete."""
+        if self.concretize_offsets and write.concrete_offset is not None \
+                and concrete_offset is not None:
+            return write.concrete_offset == concrete_offset
+        if write.address == address:
+            return True
+        return None
+
+    # -------------------------------------------------------------- #
+    def written_offsets(self) -> List[int]:
+        return sorted({w.concrete_offset for w in self.writes
+                       if w.concrete_offset is not None})
+
+    def has_symbolic_writes(self) -> bool:
+        return any(w.concrete_offset is None for w in self.writes)
+
+    def final_byte(self, concrete_offset: int) -> Expr:
+        """Final value of a byte at a concrete offset (for output comparison)."""
+        address = bv_const(0, 64)  # unused: all comparisons are concrete
+        result = self.initial_byte(address, concrete_offset)
+        for write in self.writes:
+            if write.concrete_offset is None:
+                continue
+            if write.concrete_offset != concrete_offset:
+                continue
+            result = bv_ite(write.condition, write.value, result)
+        return result
+
+
+@dataclasses.dataclass
+class MapLookupInstance:
+    """One ``bpf_map_lookup_elem`` call site in one program."""
+
+    map_fd: int
+    key: Expr                   # key valuation (key_size * 8 bits wide)
+    present: Expr               # boolean: does the key exist at this point?
+    value_bytes: List[Expr]     # 8-bit variables for the value cell contents
+    address: int                # concrete address handed to the program
+    condition: Expr             # path condition of the call
+
+
+@dataclasses.dataclass
+class MapEffect:
+    """A persistent, externally visible map mutation (update / delete)."""
+
+    kind: str                   # "update" or "delete"
+    map_fd: int
+    key: Expr
+    value: Optional[Expr]       # value valuation for updates
+    condition: Expr
+
+
+@dataclasses.dataclass
+class HelperCallRecord:
+    """An uninterpreted helper call, compared call-for-call across programs."""
+
+    name: str
+    args: Tuple[Expr, ...]
+    condition: Expr
+    result: Expr
+
+
+class MapModel:
+    """Two-level map formalization (§4.3) for a single program execution.
+
+    Level one (pointers to keys/values in regular memory) is handled by the
+    caller, which reads the key valuation out of the :class:`RegionMemory`
+    tables.  Level two (aliasing between equal key *valuations*) is handled
+    here with per-map read/write tables and Ackermann-style constraints
+    linking lookups to earlier updates/deletes and to the shared initial map
+    contents.
+    """
+
+    #: Address space carved out for lookup result cells, per program copy.
+    VALUE_CELL_STRIDE = 0x1000
+
+    def __init__(self, inputs: SymbolicInputs, prefix: str, base_address: int):
+        self.inputs = inputs
+        self.prefix = prefix
+        self.base_address = base_address
+        self.lookups: List[MapLookupInstance] = []
+        self.effects: List[MapEffect] = []
+        self.constraints: List[Expr] = []
+        self._initial_present: Dict[Tuple[int, Expr], Expr] = {}
+        self._initial_value: Dict[Tuple[int, Expr], List[Expr]] = {}
+
+    # -------------------------------------------------------------- #
+    def _initial_present_for(self, map_fd: int, key: Expr) -> Expr:
+        """Shared (cross-program) initial presence of ``key`` in map ``fd``."""
+        cache_key = (map_fd, key)
+        cached = self._shared_presence().get(cache_key)
+        if cached is None:
+            name = f"input_map{map_fd}_present_{len(self._shared_presence())}"
+            cached = bool_var(name)
+            self._shared_presence()[cache_key] = cached
+        return cached
+
+    def _initial_value_for(self, map_fd: int, key: Expr, value_size: int) -> List[Expr]:
+        cache_key = (map_fd, key)
+        cached = self._shared_values().get(cache_key)
+        if cached is None:
+            index = len(self._shared_values())
+            cached = [bv_var(f"input_map{map_fd}_val{index}_b{b}", 8)
+                      for b in range(value_size)]
+            self._shared_values()[cache_key] = cached
+        return cached
+
+    # The initial-contents tables are shared across program copies through
+    # the SymbolicInputs object so that both executions observe the same map.
+    def _shared_presence(self) -> Dict:
+        table = getattr(self.inputs, "_map_presence", None)
+        if table is None:
+            table = {}
+            setattr(self.inputs, "_map_presence", table)
+        return table
+
+    def _shared_values(self) -> Dict:
+        table = getattr(self.inputs, "_map_values", None)
+        if table is None:
+            table = {}
+            setattr(self.inputs, "_map_values", table)
+        return table
+
+    # -------------------------------------------------------------- #
+    def lookup(self, map_fd: int, key: Expr, value_size: int,
+               condition: Expr) -> MapLookupInstance:
+        """Record a lookup and return its instance (address, value cell)."""
+        index = len(self.lookups)
+        address = self.base_address + index * self.VALUE_CELL_STRIDE
+
+        # Initial (pre-program) contents for this key valuation.
+        present: Expr = self._initial_present_for(map_fd, key)
+        value: List[Expr] = list(self._initial_value_for(map_fd, key, value_size))
+
+        # Apply this program's earlier updates and deletes (§4.3: a lookup
+        # must observe the latest write to the same key valuation).
+        for effect in self.effects:
+            if effect.map_fd != map_fd:
+                continue
+            matches = bool_and(effect.condition, bv_eq(effect.key, key))
+            if effect.kind == "delete":
+                present = bool_ite_expr(matches, False, present)
+            else:
+                present = bool_ite_expr(matches, True, present)
+                for byte_index in range(value_size):
+                    updated = bv_extract(effect.value, 8 * byte_index + 7, 8 * byte_index)
+                    value[byte_index] = bv_ite(matches, updated, value[byte_index])
+
+        present_var = bool_var(f"{self.prefix}_map{map_fd}_lk{index}_present")
+        self.constraints.append(bool_or(bool_and(present_var, present),
+                                        bool_and(bool_not(present_var),
+                                                 bool_not(present))))
+        value_vars = []
+        for byte_index in range(value_size):
+            var = bv_var(f"{self.prefix}_map{map_fd}_lk{index}_b{byte_index}", 8)
+            self.constraints.append(bv_eq(var, value[byte_index]))
+            value_vars.append(var)
+
+        instance = MapLookupInstance(map_fd=map_fd, key=key, present=present_var,
+                                     value_bytes=value_vars, address=address,
+                                     condition=condition)
+        self.lookups.append(instance)
+        return instance
+
+    def update(self, map_fd: int, key: Expr, value: Expr, condition: Expr) -> None:
+        self.effects.append(MapEffect("update", map_fd, key, value, condition))
+
+    def delete(self, map_fd: int, key: Expr, condition: Expr) -> None:
+        self.effects.append(MapEffect("delete", map_fd, key, None, condition))
+
+    def record_value_store(self, lookup: MapLookupInstance, offset: int,
+                           value: Expr, condition: Expr) -> None:
+        """A store through a lookup-returned value pointer is a map effect."""
+        self.effects.append(MapEffect(
+            kind="update", map_fd=lookup.map_fd, key=lookup.key,
+            value=bv_concat(bv_const(offset, 32), bv_zero_extend(value, 24))
+            if value.width == 8 else value,
+            condition=condition))
+
+    # -------------------------------------------------------------- #
+    def lookup_owning_address(self, address: int) -> Optional[MapLookupInstance]:
+        for lookup in self.lookups:
+            if lookup.address <= address < lookup.address + self.VALUE_CELL_STRIDE:
+                return lookup
+        return None
+
+
+def bool_ite_expr(condition: Expr, then_value: bool, otherwise: Expr) -> Expr:
+    """ITE over booleans with a constant 'then' branch."""
+    if then_value:
+        return bool_or(condition, otherwise)
+    return bool_and(bool_not(condition), otherwise)

@@ -1,0 +1,562 @@
+"""Symbolic execution of BPF programs into first-order logic (paper §4).
+
+The :class:`SymbolicExecutor` turns a loop-free BPF program into:
+
+* an expression for the final value of r0 (the program's return value),
+* per-region write tables capturing every memory store with its path
+  condition (paper §4.2),
+* a map model with lookup instances, update/delete effects and the
+  Ackermann-style constraints that encode two-level map aliasing (§4.3),
+* a list of uninterpreted helper calls (other helpers, §4.3),
+* a list of side constraints that must be assumed when checking equivalence.
+
+Control flow is encoded in the bounded-model-checking style the paper uses:
+blocks are visited in topological order, register states are merged with
+if-then-else expressions at join points, and every store or effect carries
+the path condition of the block it belongs to (§4.2 step 3).
+
+The executor performs the three concretization optimizations of §5 natively:
+pointer provenance and concrete offsets are recovered from the *structure* of
+the symbolic address expressions (``stack_base + c``, ``pkt_base + c``,
+constant map-value cell addresses), so aliasing checks between concrete
+offsets are decided at formula-construction time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from ..bpf.cfg import ControlFlowGraph, build_cfg
+from ..bpf.helpers import HELPERS, HelperId
+from ..bpf.hooks import CtxFieldKind, Hook
+from ..bpf.instruction import Instruction
+from ..bpf.opcodes import AluOp, JmpOp, MemSize, SrcOperand, STACK_SIZE
+from ..bpf.program import BpfProgram
+from ..bpf.regions import MemRegion
+from ..interpreter.state import MAP_PTR_BASE
+from ..smt import (
+    Expr, FALSE, TRUE, bool_and, bool_not, bool_or, bv_add, bv_and, bv_ashr,
+    bv_concat, bv_const, bv_eq, bv_extract, bv_ite, bv_lshr, bv_mul, bv_ne,
+    bv_or, bv_shl, bv_sge, bv_sgt, bv_sle, bv_slt, bv_sub, bv_udiv, bv_uge,
+    bv_ugt, bv_ule, bv_ult, bv_urem, bv_var, bv_xor, bv_zero_extend,
+)
+from .memory_model import (
+    HelperCallRecord, MapModel, RegionMemory, SymbolicInputs,
+)
+
+__all__ = ["SymbolicExecutor", "SymbolicResult", "ImpreciseEncodingError"]
+
+_U64 = (1 << 64) - 1
+
+#: Concrete address space used for lookup-returned value cells; distinct per
+#: program copy so a candidate cannot forge a pointer into the other copy.
+_MAP_CELL_BASE = {"p1": 0x7000_0000_0000, "p2": 0x7800_0000_0000}
+
+
+class ImpreciseEncodingError(Exception):
+    """Raised when the program uses a feature the encoding cannot model
+    precisely (e.g. a store through a pointer of unknown provenance)."""
+
+
+@dataclasses.dataclass
+class SymbolicResult:
+    """Everything the equivalence checker needs about one program."""
+
+    return_value: Expr
+    memories: Dict[MemRegion, RegionMemory]
+    map_model: MapModel
+    helper_calls: List[HelperCallRecord]
+    constraints: List[Expr]
+    inputs: SymbolicInputs
+    exit_conditions: List[Expr]
+    #: Register state at program exit, merged over all exit paths.  Used by
+    #: window-based verification to compare live-out variables (§5 IV).
+    final_registers: Dict[int, Expr] = dataclasses.field(default_factory=dict)
+
+
+@dataclasses.dataclass
+class _BlockState:
+    regs: Dict[int, Expr]
+    path: Expr
+
+    def copy(self) -> "_BlockState":
+        return _BlockState(dict(self.regs), self.path)
+
+
+class SymbolicExecutor:
+    """Encode one program as first-order logic over shared symbolic inputs."""
+
+    def __init__(self, inputs: SymbolicInputs, prefix: str = "p1",
+                 concretize_offsets: bool = True):
+        self.inputs = inputs
+        self.prefix = prefix
+        self.concretize_offsets = concretize_offsets
+        self.memories: Dict[MemRegion, RegionMemory] = {}
+        self.map_model = MapModel(inputs, prefix,
+                                  _MAP_CELL_BASE.get(prefix, 0x7000_0000_0000))
+        self.helper_calls: List[HelperCallRecord] = []
+        self.constraints: List[Expr] = []
+        self._fresh_counter = 0
+        self._random_calls = 0
+        self._packet_epoch = 0
+
+    # ------------------------------------------------------------------ #
+    def execute(self, program: BpfProgram,
+                entry_registers: Optional[Dict[int, Expr]] = None) -> SymbolicResult:
+        cfg = build_cfg(program.instructions)
+        if not cfg.is_loop_free():
+            raise ImpreciseEncodingError("program contains a loop")
+        hook = program.hook
+
+        entry_regs = {reg: self._fresh(f"uninit_r{reg}") for reg in range(11)}
+        entry_regs[1] = self.inputs.ctx_base
+        entry_regs[10] = bv_add(self.inputs.stack_base,
+                                bv_const(STACK_SIZE, 64))
+        if entry_registers:
+            entry_regs.update(entry_registers)
+        block_entry: Dict[int, _BlockState] = {
+            0: _BlockState(entry_regs, TRUE)}
+
+        exit_values: List[Tuple[Expr, Expr]] = []   # (path condition, r0)
+        exit_states: List[Tuple[Expr, Dict[int, Expr]]] = []
+        reachable = cfg.reachable_blocks()
+
+        for block_index in cfg.topological_order():
+            if block_index not in reachable or block_index not in block_entry:
+                continue
+            block = cfg.blocks[block_index]
+            state = block_entry[block_index].copy()
+            if state.path == FALSE:
+                continue
+
+            terminated = False
+            for insn_index in range(block.start, block.end):
+                insn = program.instructions[insn_index]
+                if insn.is_exit:
+                    exit_values.append((state.path, state.regs[0]))
+                    exit_states.append((state.path, dict(state.regs)))
+                    terminated = True
+                    break
+                if insn.is_conditional_jump or insn.is_unconditional_jump:
+                    break
+                self._step(state, insn, hook)
+
+            if terminated:
+                continue
+
+            last_index = block.end - 1
+            last = program.instructions[last_index]
+            for successor in block.successors:
+                succ_block = cfg.blocks[successor]
+                edge_cond = state.path
+                if last.is_conditional_jump:
+                    taken_target = last_index + 1 + last.off
+                    cond = self._jump_condition(state, last)
+                    if succ_block.start == taken_target:
+                        edge_cond = bool_and(state.path, cond)
+                    else:
+                        edge_cond = bool_and(state.path, bool_not(cond))
+                incoming = _BlockState(dict(state.regs), edge_cond)
+                existing = block_entry.get(successor)
+                if existing is None:
+                    block_entry[successor] = incoming
+                else:
+                    block_entry[successor] = self._merge(existing, incoming)
+
+        if not exit_values:
+            raise ImpreciseEncodingError("program has no reachable exit")
+        return_value = exit_values[-1][1]
+        for path, value in reversed(exit_values[:-1]):
+            return_value = bv_ite(path, value, return_value)
+
+        final_registers = dict(exit_states[-1][1])
+        for path, regs in reversed(exit_states[:-1]):
+            for reg in range(11):
+                if regs[reg] != final_registers[reg]:
+                    final_registers[reg] = bv_ite(path, regs[reg],
+                                                  final_registers[reg])
+
+        return SymbolicResult(
+            return_value=return_value,
+            memories=self.memories,
+            map_model=self.map_model,
+            helper_calls=self.helper_calls,
+            constraints=self.constraints + self.map_model.constraints,
+            inputs=self.inputs,
+            exit_conditions=[path for path, _ in exit_values],
+            final_registers=final_registers,
+        )
+
+    # ------------------------------------------------------------------ #
+    # State merging at control-flow joins
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _merge(a: _BlockState, b: _BlockState) -> _BlockState:
+        merged_regs = {}
+        for reg in range(11):
+            va, vb = a.regs[reg], b.regs[reg]
+            merged_regs[reg] = va if va == vb else bv_ite(a.path, va, vb)
+        return _BlockState(merged_regs, bool_or(a.path, b.path))
+
+    # ------------------------------------------------------------------ #
+    # Helpers for variable naming
+    # ------------------------------------------------------------------ #
+    def _fresh(self, label: str, width: int = 64) -> Expr:
+        self._fresh_counter += 1
+        return bv_var(f"{self.prefix}_{label}_{self._fresh_counter}", width)
+
+    # ------------------------------------------------------------------ #
+    # Instruction semantics
+    # ------------------------------------------------------------------ #
+    def _step(self, state: _BlockState, insn: Instruction, hook: Hook) -> None:
+        if insn.is_nop:
+            return
+        if insn.is_lddw:
+            if insn.src == 1:
+                state.regs[insn.dst] = bv_const(MAP_PTR_BASE + insn.imm, 64)
+            else:
+                state.regs[insn.dst] = bv_const(insn.imm64 or insn.imm, 64)
+            return
+        if insn.is_alu:
+            state.regs[insn.dst] = self._alu(state, insn)
+            return
+        if insn.is_load:
+            state.regs[insn.dst] = self._load(state, insn, hook)
+            return
+        if insn.is_store or insn.is_xadd:
+            self._store(state, insn)
+            return
+        if insn.is_call:
+            self._call(state, insn)
+            return
+        raise ImpreciseEncodingError(f"unsupported instruction {insn!r}")
+
+    # --- ALU ------------------------------------------------------------- #
+    def _alu(self, state: _BlockState, insn: Instruction) -> Expr:
+        op = insn.alu_op
+        is64 = insn.is_alu64
+        dst = state.regs[insn.dst]
+
+        if op == AluOp.END:
+            return self._byteswap(dst, insn.imm,
+                                  swap=insn.src_operand == SrcOperand.X)
+        if op == AluOp.NEG:
+            if is64:
+                return bv_sub(bv_const(0, 64), dst)
+            low = bv_sub(bv_const(0, 32), bv_extract(dst, 31, 0))
+            return bv_zero_extend(low, 32)
+
+        src = state.regs[insn.src] if insn.uses_reg_source \
+            else bv_const(insn.imm, 64)
+        if op == AluOp.MOV:
+            if is64:
+                return src
+            return bv_zero_extend(bv_extract(src, 31, 0), 32)
+
+        if is64:
+            a, b = dst, src
+        else:
+            a, b = bv_extract(dst, 31, 0), bv_extract(src, 31, 0)
+
+        width = 64 if is64 else 32
+        shift_mask = bv_const(width - 1, width)
+        if op == AluOp.ADD:
+            result = bv_add(a, b)
+        elif op == AluOp.SUB:
+            result = bv_sub(a, b)
+        elif op == AluOp.MUL:
+            result = bv_mul(a, b)
+        elif op == AluOp.DIV:
+            result = bv_udiv(a, b)
+        elif op == AluOp.MOD:
+            result = bv_urem(a, b)
+        elif op == AluOp.OR:
+            result = bv_or(a, b)
+        elif op == AluOp.AND:
+            result = bv_and(a, b)
+        elif op == AluOp.XOR:
+            result = bv_xor(a, b)
+        elif op == AluOp.LSH:
+            result = bv_shl(a, bv_and(b, shift_mask))
+        elif op == AluOp.RSH:
+            result = bv_lshr(a, bv_and(b, shift_mask))
+        elif op == AluOp.ARSH:
+            result = bv_ashr(a, bv_and(b, shift_mask))
+        else:
+            raise ImpreciseEncodingError(f"unsupported ALU op {op!r}")
+        if not is64:
+            result = bv_zero_extend(result, 32)
+        return result
+
+    @staticmethod
+    def _byteswap(value: Expr, width_bits: int, swap: bool) -> Expr:
+        low = bv_extract(value, width_bits - 1, 0)
+        if swap:
+            swapped_bytes = [bv_extract(low, 8 * i + 7, 8 * i)
+                             for i in range(width_bits // 8)]
+            result = swapped_bytes[0]
+            for byte in swapped_bytes[1:]:
+                result = bv_concat(result, byte)
+        else:
+            result = low
+        return bv_zero_extend(result, 64 - width_bits)
+
+    # --- Jump conditions --------------------------------------------------- #
+    def _jump_condition(self, state: _BlockState, insn: Instruction) -> Expr:
+        dst = state.regs[insn.dst]
+        src = state.regs[insn.src] if insn.uses_reg_source \
+            else bv_const(insn.imm, 64)
+        if insn.is_jump32:
+            dst = bv_extract(dst, 31, 0)
+            src = bv_extract(src, 31, 0)
+        op = insn.jmp_op
+        table = {
+            JmpOp.JEQ: bv_eq, JmpOp.JNE: bv_ne,
+            JmpOp.JGT: bv_ugt, JmpOp.JGE: bv_uge,
+            JmpOp.JLT: bv_ult, JmpOp.JLE: bv_ule,
+            JmpOp.JSGT: bv_sgt, JmpOp.JSGE: bv_sge,
+            JmpOp.JSLT: bv_slt, JmpOp.JSLE: bv_sle,
+        }
+        if op in table:
+            return table[op](dst, src)
+        if op == JmpOp.JSET:
+            return bv_ne(bv_and(dst, src), bv_const(0, dst.width))
+        raise ImpreciseEncodingError(f"unsupported jump op {op!r}")
+
+    # --- Address classification (concretization, §5 I-III) ----------------- #
+    def _classify_address(self, address: Expr) -> Tuple[MemRegion, Optional[int]]:
+        base, offset = address, 0
+        if address.op == "bvadd" and address.args[1].op == "bvconst":
+            base = address.args[0]
+            offset = address.args[1].value
+            if offset >= 1 << 63:
+                offset -= 1 << 64
+        # Null-checked map-lookup results have the shape ite(present, cell, 0):
+        # a dereference is only reachable on the non-null branch (the safety
+        # checker enforces the check), so classify the non-null alternative.
+        zero = bv_const(0, 64)
+        while base.op == "bvite":
+            if base.args[2] == zero:
+                base = base.args[1]
+            elif base.args[1] == zero:
+                base = base.args[2]
+            else:
+                break
+        if base == self.inputs.stack_base:
+            return MemRegion.STACK, offset
+        if base == self.inputs.pkt_base:
+            return MemRegion.PACKET, offset
+        if base == self.inputs.ctx_base:
+            return MemRegion.CTX, offset
+        if base.op == "bvconst":
+            value = base.value + offset
+            for cell_base in _MAP_CELL_BASE.values():
+                if cell_base <= value < cell_base + 0x0800_0000_0000:
+                    return MemRegion.MAP_VALUE, value
+        # A pointer whose provenance we cannot determine.
+        return MemRegion.UNKNOWN, None
+
+    def _region_memory(self, region: MemRegion) -> RegionMemory:
+        memory = self.memories.get(region)
+        if memory is None:
+            memory = RegionMemory(region, self.inputs, self.prefix,
+                                  concretize_offsets=self.concretize_offsets)
+            self.memories[region] = memory
+        return memory
+
+    def _map_value_initial(self, absolute_address: int) -> Expr:
+        lookup = self.map_model.lookup_owning_address(absolute_address)
+        if lookup is None:
+            return bv_const(0, 8)
+        offset = absolute_address - lookup.address
+        if offset < len(lookup.value_bytes):
+            return lookup.value_bytes[offset]
+        return bv_const(0, 8)
+
+    # --- Loads and stores --------------------------------------------------- #
+    def _load(self, state: _BlockState, insn: Instruction, hook: Hook) -> Expr:
+        address = bv_add(state.regs[insn.src], bv_const(insn.off, 64))
+        region, offset = self._classify_address(address)
+        width = insn.access_bytes
+
+        if region == MemRegion.CTX and offset is not None:
+            field = hook.field_by_offset(offset)
+            if field is not None and field.size == width:
+                if field.kind == CtxFieldKind.PACKET_PTR:
+                    return self._current_packet_base()
+                if field.kind == CtxFieldKind.PACKET_END_PTR:
+                    return bv_add(self._current_packet_base(), self.inputs.pkt_len)
+
+        memory = self._region_memory(region)
+        bytes_read = []
+        for byte_index in range(width):
+            byte_address = bv_add(address, bv_const(byte_index, 64))
+            byte_offset = None if offset is None else offset + byte_index
+            if region == MemRegion.MAP_VALUE and byte_offset is not None:
+                initial = self._map_value_initial(byte_offset)
+                value = initial
+                for write in memory.writes:
+                    if write.concrete_offset == byte_offset:
+                        value = bv_ite(write.condition, write.value, value)
+                    elif write.concrete_offset is None:
+                        value = bv_ite(bool_and(write.condition,
+                                                bv_eq(write.address, byte_address)),
+                                       write.value, value)
+                bytes_read.append(value)
+            elif region == MemRegion.UNKNOWN:
+                raise ImpreciseEncodingError(
+                    "load through pointer of unknown provenance")
+            else:
+                bytes_read.append(memory.load_byte(byte_address, byte_offset,
+                                                   state.path))
+        value = bytes_read[0]
+        for byte in bytes_read[1:]:
+            value = bv_concat(byte, value)
+        if value.width < 64:
+            value = bv_zero_extend(value, 64 - value.width)
+        return value
+
+    def _store(self, state: _BlockState, insn: Instruction) -> None:
+        address = bv_add(state.regs[insn.dst], bv_const(insn.off, 64))
+        region, offset = self._classify_address(address)
+        if region == MemRegion.UNKNOWN:
+            raise ImpreciseEncodingError(
+                "store through pointer of unknown provenance")
+        if region == MemRegion.CTX:
+            raise ImpreciseEncodingError("store to ctx memory")
+        width = insn.access_bytes
+        memory = self._region_memory(region)
+
+        if insn.is_xadd:
+            # Read-modify-write: read the current value, add, write back.
+            loaded = self._load_for_xadd(state, insn, address, region, offset, width)
+            addend = state.regs[insn.src]
+            if width == 4:
+                value = bv_zero_extend(
+                    bv_add(bv_extract(loaded, 31, 0), bv_extract(addend, 31, 0)), 32)
+            else:
+                value = bv_add(loaded, addend)
+        elif insn.is_store_reg:
+            value = state.regs[insn.src]
+        else:
+            value = bv_const(insn.imm, 64)
+
+        for byte_index in range(width):
+            byte_address = bv_add(address, bv_const(byte_index, 64))
+            byte_offset = None if offset is None else offset + byte_index
+            byte_value = bv_extract(value, 8 * byte_index + 7, 8 * byte_index)
+            memory.store_byte(byte_address, byte_offset, byte_value, state.path)
+
+    def _load_for_xadd(self, state: _BlockState, insn: Instruction,
+                       address: Expr, region: MemRegion,
+                       offset: Optional[int], width: int) -> Expr:
+        fake_load = insn.with_fields(opcode=0x61 if width == 4 else 0x79,
+                                     dst=insn.dst, src=insn.dst, off=insn.off)
+        # Reuse the load path: construct the loaded value at this address.
+        saved = state.regs[insn.dst]
+        value = self._load(state, fake_load, self.inputs.hook)
+        state.regs[insn.dst] = saved
+        return value
+
+    def _current_packet_base(self) -> Expr:
+        if self._packet_epoch == 0:
+            return self.inputs.pkt_base
+        return bv_var(f"input_pkt_base_epoch{self._packet_epoch}", 64)
+
+    # --- Helper calls --------------------------------------------------------- #
+    def _call(self, state: _BlockState, insn: Instruction) -> None:
+        spec = HELPERS.get(insn.imm)
+        if spec is None:
+            raise ImpreciseEncodingError(f"unknown helper id {insn.imm}")
+        helper_id = spec.helper_id
+
+        if helper_id == HelperId.MAP_LOOKUP_ELEM:
+            result = self._map_lookup(state)
+        elif helper_id == HelperId.MAP_UPDATE_ELEM:
+            result = self._map_update(state)
+        elif helper_id == HelperId.MAP_DELETE_ELEM:
+            result = self._map_delete(state)
+        elif helper_id == HelperId.KTIME_GET_NS:
+            result = self.inputs.time_ns
+        elif helper_id == HelperId.KTIME_GET_BOOT_NS:
+            result = bv_add(self.inputs.time_ns, bv_const(1, 64))
+        elif helper_id == HelperId.GET_PRANDOM_U32:
+            result = bv_and(self.inputs.random_value(self._random_calls),
+                            bv_const(0xFFFFFFFF, 64))
+            self._random_calls += 1
+        elif helper_id == HelperId.GET_SMP_PROCESSOR_ID:
+            result = bv_and(self.inputs.cpu_id, bv_const(0xFFFFFFFF, 64))
+        else:
+            result = self._uninterpreted_call(state, spec)
+
+        state.regs[0] = result
+        for reg in range(1, 6):
+            state.regs[reg] = self._fresh(f"clobber_r{reg}")
+
+    def _read_bytes(self, state: _BlockState, address: Expr, count: int) -> Expr:
+        """Read ``count`` bytes from memory and return their concatenation."""
+        region, offset = self._classify_address(address)
+        if region == MemRegion.UNKNOWN:
+            raise ImpreciseEncodingError(
+                "helper argument pointer of unknown provenance")
+        memory = self._region_memory(region)
+        value = None
+        for byte_index in range(count):
+            byte_address = bv_add(address, bv_const(byte_index, 64))
+            byte_offset = None if offset is None else offset + byte_index
+            if region == MemRegion.MAP_VALUE and byte_offset is not None:
+                byte = self._map_value_initial(byte_offset)
+            else:
+                byte = memory.load_byte(byte_address, byte_offset, state.path)
+            value = byte if value is None else bv_concat(byte, value)
+        return value
+
+    def _map_fd_from(self, state: _BlockState, reg: int) -> int:
+        expr = state.regs[reg]
+        if expr.op == "bvconst" and expr.value >= MAP_PTR_BASE:
+            return expr.value - MAP_PTR_BASE
+        raise ImpreciseEncodingError("map argument is not a concrete map reference")
+
+    def _map_lookup(self, state: _BlockState) -> Expr:
+        map_fd = self._map_fd_from(state, 1)
+        definition = self.inputs.maps.definition(map_fd)
+        key = self._read_bytes(state, state.regs[2], definition.key_size)
+        instance = self.map_model.lookup(map_fd, key, definition.value_size,
+                                         state.path)
+        return bv_ite(instance.present, bv_const(instance.address, 64),
+                      bv_const(0, 64))
+
+    def _map_update(self, state: _BlockState) -> Expr:
+        map_fd = self._map_fd_from(state, 1)
+        definition = self.inputs.maps.definition(map_fd)
+        key = self._read_bytes(state, state.regs[2], definition.key_size)
+        value = self._read_bytes(state, state.regs[3], definition.value_size)
+        self.map_model.update(map_fd, key, value, state.path)
+        return bv_const(0, 64)
+
+    def _map_delete(self, state: _BlockState) -> Expr:
+        map_fd = self._map_fd_from(state, 1)
+        definition = self.inputs.maps.definition(map_fd)
+        key = self._read_bytes(state, state.regs[2], definition.key_size)
+        self.map_model.delete(map_fd, key, state.path)
+        return bv_const(0, 64)
+
+    def _uninterpreted_call(self, state: _BlockState, spec) -> Expr:
+        """Model any other helper as an uninterpreted function (§4.3).
+
+        Equivalence then requires both programs to issue the same calls with
+        the same arguments in the same order, which is exactly the paper's
+        restriction for helpers without specific semantics.
+        """
+        index = sum(1 for call in self.helper_calls if call.name == spec.name)
+        result = bv_var(f"uf_{spec.name}_{index}", 64)
+        args = tuple(state.regs[reg] for reg in range(1, 1 + spec.num_args))
+        self.helper_calls.append(HelperCallRecord(
+            name=spec.name, args=args, condition=state.path, result=result))
+        if spec.helper_id in (HelperId.XDP_ADJUST_HEAD, HelperId.XDP_ADJUST_TAIL,
+                              HelperId.XDP_ADJUST_META):
+            # The packet layout may have changed: subsequent packet-pointer
+            # loads observe a fresh epoch shared across both programs.
+            self._packet_epoch += 1
+        return result

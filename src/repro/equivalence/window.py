@@ -1,0 +1,295 @@
+"""Modular (window-based) verification — paper §5 optimization IV, Appendix C.2.
+
+Instead of verifying equivalence of whole programs, K2 synthesizes rewrites
+inside small *windows* and verifies each window under:
+
+* a **stronger precondition** than a peephole optimizer: the registers live
+  into the window are shared symbolic variables, and registers whose value
+  the static analysis proves constant at the window entry are constrained to
+  those constants (the "inferred concrete valuations" of the paper);
+* a **weaker postcondition**: only the variables live out of the window (and
+  the memory/map effects inside it) must agree.
+
+The window verification condition is::
+
+    variables live into window 1 == variables live into window 2
+    ∧ inferred concrete valuations of variables
+    ∧ input-output behaviour of window 1
+    ∧ input-output behaviour of window 2
+    ⇒ variables live out of window 1 != variables live out of window 2
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from ..bpf import builders
+from ..bpf.instruction import Instruction
+from ..bpf.liveness import compute_liveness
+from ..bpf.memtypes import analyze_types
+from ..bpf.opcodes import STACK_SIZE
+from ..bpf.program import BpfProgram
+from ..bpf.regions import MemRegion
+from ..interpreter import ProgramInput
+from ..smt import (
+    CheckResult, Expr, Solver, bool_and, bool_not, bool_or, bool_xor, bv_add,
+    bv_const, bv_eq, bv_ne, bv_var,
+)
+from .checker import EquivalenceOptions, EquivalenceResult
+from .memory_model import SymbolicInputs
+from .symbolic import ImpreciseEncodingError, SymbolicExecutor
+
+__all__ = ["Window", "WindowEquivalenceChecker", "select_windows"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Window:
+    """A contiguous instruction range ``[start, end)`` inside a program."""
+
+    start: int
+    end: int
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+
+def select_windows(program: BpfProgram, max_size: int = 4) -> List[Window]:
+    """Straight-line windows of at most ``max_size`` instructions.
+
+    Windows never contain branches, calls or exits, so the window body is a
+    basic-block fragment; this mirrors K2's choice of windows among basic
+    blocks of bounded size.
+    """
+    windows: List[Window] = []
+    start: Optional[int] = None
+    for index, insn in enumerate(program.instructions):
+        breaks = (insn.is_branch or insn.is_call or insn.is_exit) and not insn.is_nop
+        if breaks:
+            if start is not None and index - start >= 1:
+                windows.append(Window(start, index))
+            start = None
+            continue
+        if start is None:
+            start = index
+        if index - start + 1 == max_size:
+            windows.append(Window(start, index + 1))
+            start = None
+    if start is not None and len(program.instructions) - start >= 1:
+        windows.append(Window(start, len(program.instructions)))
+    return windows
+
+
+class WindowEquivalenceChecker:
+    """Equivalence of two programs that differ only inside one window."""
+
+    def __init__(self, options: Optional[EquivalenceOptions] = None):
+        self.options = options or EquivalenceOptions()
+        self.num_queries = 0
+
+    # ------------------------------------------------------------------ #
+    def check(self, source: BpfProgram, candidate: BpfProgram,
+              window: Window) -> EquivalenceResult:
+        """Window verification; falls back to "unknown" when not applicable."""
+        self.num_queries += 1
+        if len(source.instructions) != len(candidate.instructions):
+            return EquivalenceResult(equivalent=False, unknown=True,
+                                     reason="programs have different lengths")
+        for index in range(len(source.instructions)):
+            if window.start <= index < window.end:
+                continue
+            if source.instructions[index] != candidate.instructions[index]:
+                return EquivalenceResult(
+                    equivalent=False, unknown=True,
+                    reason="programs differ outside the window")
+
+        try:
+            return self._check_window(source, candidate, window)
+        except ImpreciseEncodingError as exc:
+            return EquivalenceResult(equivalent=False, unknown=True,
+                                     reason=f"imprecise window encoding: {exc}")
+        except Exception as exc:  # broken candidates (e.g. malformed CFG)
+            return EquivalenceResult(equivalent=False, unknown=True,
+                                     reason=f"window encoding failed: {exc}")
+
+    # ------------------------------------------------------------------ #
+    def _window_program(self, program: BpfProgram,
+                        window: Window) -> BpfProgram:
+        body = list(program.instructions[window.start:window.end])
+        for insn in body:
+            if (insn.is_branch or insn.is_call) and not insn.is_nop:
+                raise ImpreciseEncodingError(
+                    "window contains control flow or helper calls")
+        body.append(builders.EXIT_INSN())
+        return program.with_instructions(body, name=f"{program.name}_window")
+
+    def _entry_registers(self, inputs: SymbolicInputs, program: BpfProgram,
+                         window: Window) -> Tuple[Dict[int, Expr], List[Expr]]:
+        """Shared live-in register variables plus precondition constraints."""
+        analysis = analyze_types(program.instructions, program.hook)
+        state = analysis.state_before(window.start)
+        registers: Dict[int, Expr] = {}
+        preconditions: List[Expr] = []
+        for reg in range(10):  # r10 keeps its standard value
+            variable = bv_var(f"livein_r{reg}", 64)
+            value = state.regs[reg] if state is not None else None
+            if value is None:
+                registers[reg] = variable
+                continue
+            if value.region == MemRegion.STACK and value.offset is not None:
+                registers[reg] = bv_add(inputs.stack_base,
+                                        bv_const(value.offset, 64))
+            elif value.region == MemRegion.PACKET and value.offset is not None:
+                registers[reg] = bv_add(inputs.pkt_base,
+                                        bv_const(value.offset, 64))
+            elif value.region == MemRegion.CTX and value.offset is not None:
+                registers[reg] = bv_add(inputs.ctx_base,
+                                        bv_const(value.offset, 64))
+            elif value.region == MemRegion.SCALAR and value.const is not None:
+                # Inferred concrete valuation: a strong precondition (§5 IV).
+                registers[reg] = variable
+                preconditions.append(bv_eq(variable, bv_const(value.const, 64)))
+            else:
+                registers[reg] = variable
+        return registers, preconditions
+
+    def _check_window(self, source: BpfProgram, candidate: BpfProgram,
+                      window: Window) -> EquivalenceResult:
+        inputs = SymbolicInputs(source.hook, source.maps)
+        entry, preconditions = self._entry_registers(inputs, source, window)
+
+        source_window = self._window_program(source, window)
+        candidate_window = self._window_program(candidate, window)
+
+        exec1 = SymbolicExecutor(inputs, "p1")
+        exec2 = SymbolicExecutor(inputs, "p2")
+        result1 = exec1.execute(source_window, entry_registers=dict(entry))
+        result2 = exec2.execute(candidate_window, entry_registers=dict(entry))
+
+        # Postcondition: live-out registers of the source program, plus all
+        # memory stores performed inside the window.
+        liveness = compute_liveness(source.instructions)
+        live_out = liveness.live_out_at(window.end - 1) if window.end > 0 else frozenset()
+
+        differences: List[Expr] = []
+        for reg in sorted(live_out):
+            differences.append(bv_ne(result1.final_registers[reg],
+                                     result2.final_registers[reg]))
+
+        live_stack = self._live_stack_offsets(source, window)
+        for region in (MemRegion.STACK, MemRegion.PACKET, MemRegion.MAP_VALUE):
+            mem1 = result1.memories.get(region)
+            mem2 = result2.memories.get(region)
+            if mem1 is None and mem2 is None:
+                continue
+            if (mem1 and mem1.has_symbolic_writes()) or \
+               (mem2 and mem2.has_symbolic_writes()):
+                return EquivalenceResult(equivalent=False, unknown=True,
+                                         reason="symbolic store inside window")
+            offsets = set(mem1.written_offsets() if mem1 else []) | \
+                set(mem2.written_offsets() if mem2 else [])
+            if region == MemRegion.STACK and live_stack is not None:
+                # Weaker postcondition (§5 IV): stack bytes never read after
+                # the window are not observable and need not match.
+                offsets &= live_stack
+            for offset in sorted(offsets):
+                final1 = (mem1.final_byte(offset) if mem1
+                          else self._untouched_byte(inputs, region, offset, result1))
+                final2 = (mem2.final_byte(offset) if mem2
+                          else self._untouched_byte(inputs, region, offset, result2))
+                differences.append(bv_ne(final1, final2))
+
+        if not differences:
+            return EquivalenceResult(equivalent=True,
+                                     reason="windows have no live outputs")
+
+        difference = bool_or(*differences)
+        if difference.op == "boolconst":
+            if difference.value:
+                return EquivalenceResult(equivalent=False,
+                                         reason="window outputs trivially differ")
+            return EquivalenceResult(equivalent=True,
+                                     reason="window outputs syntactically identical")
+
+        solver = Solver(max_conflicts=self.options.max_conflicts)
+        for constraint in inputs.constraints():
+            solver.add(constraint)
+        for constraint in preconditions:
+            solver.add(constraint)
+        for constraint in result1.constraints:
+            solver.add(constraint)
+        for constraint in result2.constraints:
+            solver.add(constraint)
+        solver.add(difference)
+
+        verdict = solver.check()
+        if verdict == CheckResult.UNSAT:
+            return EquivalenceResult(equivalent=True, used_solver=True,
+                                     reason="window proved equivalent")
+        if verdict == CheckResult.SAT:
+            return EquivalenceResult(equivalent=False, used_solver=True,
+                                     reason="window counterexample found")
+        return EquivalenceResult(equivalent=False, unknown=True, used_solver=True,
+                                 reason="solver budget exhausted")
+
+    @staticmethod
+    def _untouched_byte(inputs: SymbolicInputs, region: MemRegion, offset: int,
+                        result) -> Expr:
+        from .memory_model import RegionMemory
+
+        memory = RegionMemory(region, inputs, "untouched")
+        return memory.final_byte(offset)
+
+    @staticmethod
+    def _live_stack_offsets(source: BpfProgram,
+                            window: Window) -> Optional[set]:
+        """Stack byte offsets that may be read after the window (may-live).
+
+        This is a conservative liveness analysis with kill tracking: a byte
+        overwritten on the straight-line path following the window (before
+        any control-flow divergence) is dead at the window boundary even if
+        it is read later.  Returns ``None`` when a post-window stack read
+        cannot be bounded to a concrete offset, in which case every stack
+        byte must be compared.
+        """
+        instructions = source.instructions
+        analysis = analyze_types(instructions, source.hook)
+        jump_targets = set()
+        for index, insn in enumerate(instructions):
+            if insn.is_jump and not insn.is_call and not insn.is_exit \
+                    and not insn.is_nop:
+                jump_targets.add(index + 1 + insn.off)
+
+        live: set = set()
+        killed: set = set()
+        tracking_kills = True
+        for index in range(window.end, len(instructions)):
+            insn = instructions[index]
+            if index in jump_targets or (insn.is_branch and not insn.is_nop):
+                # Control flow may diverge or merge here: stop treating later
+                # stores as kills (they may not execute on every path).
+                tracking_kills = False
+            if insn.is_call:
+                # Helper calls read memory through pointer arguments (e.g.
+                # map keys built on the stack): every byte not already
+                # overwritten may be observed.
+                live.update(set(range(STACK_SIZE)) - killed)
+                continue
+            if insn.is_store or insn.is_xadd:
+                region, offset = analysis.pointer_info(index)
+                if region == MemRegion.STACK and offset is not None:
+                    span = range(offset, offset + insn.access_bytes)
+                    if insn.is_xadd:
+                        live.update(set(span) - killed)  # xadd also reads
+                    elif tracking_kills:
+                        killed.update(span)
+                continue
+            if insn.is_load:
+                region, offset = analysis.pointer_info(index)
+                if region != MemRegion.STACK:
+                    continue
+                if offset is None:
+                    return None
+                live.update(set(range(offset, offset + insn.access_bytes))
+                            - killed)
+        return live

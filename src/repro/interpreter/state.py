@@ -1,0 +1,171 @@
+"""Machine state, program inputs and program outputs for the interpreter.
+
+A :class:`ProgramInput` is a *test case*: the packet bytes, the scalar context
+fields, the initial map contents and the values returned by non-deterministic
+helpers (timestamps, random numbers, CPU id).  Executing a program on a test
+case yields a :class:`ProgramOutput` containing the return value, the final
+packet bytes and the final map contents — the observable behaviour the
+equivalence checker and the error cost function compare (paper §3.2, §4).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from ..bpf.hooks import CtxFieldKind, Hook
+from ..bpf.maps import MapEnvironment, MapState
+from ..bpf.opcodes import STACK_SIZE
+from ..bpf.regions import CTX_BASE, PACKET_BASE, STACK_BASE
+
+__all__ = ["PACKET_HEADROOM", "MAP_PTR_BASE", "ProgramInput", "ProgramOutput",
+           "MachineState"]
+
+#: Headroom available in front of the packet for bpf_xdp_adjust_head.
+PACKET_HEADROOM = 256
+
+#: Flat-address base used to represent map object references at run time.
+MAP_PTR_BASE = 0x5000_0000_0000
+
+
+@dataclasses.dataclass
+class ProgramInput:
+    """One test case: everything the program execution depends on."""
+
+    packet: bytes = b""
+    ctx: Dict[str, int] = dataclasses.field(default_factory=dict)
+    map_contents: Dict[int, Dict[bytes, bytes]] = dataclasses.field(default_factory=dict)
+    random_values: List[int] = dataclasses.field(default_factory=lambda: [0x12345678])
+    time_ns: int = 1_000_000_000
+    cpu_id: int = 0
+
+    def freeze_key(self) -> tuple:
+        """Hashable representation (used to deduplicate counterexamples)."""
+        return (
+            self.packet,
+            tuple(sorted(self.ctx.items())),
+            tuple(sorted((fd, tuple(sorted(entries.items())))
+                         for fd, entries in self.map_contents.items())),
+            tuple(self.random_values),
+            self.time_ns,
+            self.cpu_id,
+        )
+
+
+@dataclasses.dataclass
+class ProgramOutput:
+    """Observable result of one execution."""
+
+    return_value: Optional[int] = None
+    packet: bytes = b""
+    maps: Dict[int, Dict[bytes, bytes]] = dataclasses.field(default_factory=dict)
+    fault: Optional[str] = None
+    steps: int = 0
+    #: Estimated execution latency in nanoseconds (per-opcode cost model).
+    estimated_ns: float = 0.0
+
+    @property
+    def faulted(self) -> bool:
+        return self.fault is not None
+
+    def observable(self) -> tuple:
+        """The tuple compared for input/output equivalence."""
+        return (
+            self.return_value,
+            self.packet,
+            tuple(sorted((fd, tuple(sorted(entries.items())))
+                         for fd, entries in self.maps.items())),
+            self.fault is not None,
+        )
+
+
+class MachineState:
+    """Concrete machine state during one execution."""
+
+    def __init__(self, hook: Hook, maps: MapEnvironment, test: ProgramInput):
+        self.hook = hook
+        self.test = test
+        self.regs: List[int] = [0] * 11
+        self.reg_initialized = [False] * 11
+        self.stack = bytearray(STACK_SIZE)
+        self.stack_initialized = bytearray(STACK_SIZE)
+
+        # Packet buffer: headroom + data, so adjust_head can grow the packet.
+        self.packet_buffer = bytearray(PACKET_HEADROOM) + bytearray(test.packet)
+        self.packet_start = PACKET_HEADROOM
+        self.packet_end = PACKET_HEADROOM + len(test.packet)
+
+        # Context structure.
+        self.ctx = bytearray(hook.ctx_size)
+        self._populate_ctx()
+
+        # Maps.
+        self.maps: Dict[int, MapState] = maps.instantiate()
+        for fd, entries in test.map_contents.items():
+            if fd not in self.maps:
+                continue
+            for key, value in entries.items():
+                self.maps[fd].update(key, value)
+
+        # Non-determinism sources.
+        self._random_cursor = 0
+        self.helper_trace: List[tuple] = []
+
+        # Register ABI: r1 = ctx pointer, r10 = frame pointer.
+        self.regs[1] = CTX_BASE
+        self.reg_initialized[1] = True
+        self.regs[10] = STACK_BASE + STACK_SIZE
+        self.reg_initialized[10] = True
+
+    # ------------------------------------------------------------------ #
+    # Context handling
+    # ------------------------------------------------------------------ #
+    def _populate_ctx(self) -> None:
+        # Packet-pointer fields hold the *offset* into the packet buffer; the
+        # interpreter rebases them onto PACKET_BASE when they are loaded,
+        # mirroring the kernel's ctx-access rewriting of 32-bit fields into
+        # full pointers.
+        for field in self.hook.fields:
+            if field.kind == CtxFieldKind.PACKET_PTR:
+                value = self.packet_start
+            elif field.kind == CtxFieldKind.PACKET_END_PTR:
+                value = self.packet_end
+            else:
+                value = self.test.ctx.get(field.name, 0)
+            self.ctx[field.offset:field.offset + field.size] = \
+                (value & ((1 << (8 * field.size)) - 1)).to_bytes(field.size, "little")
+
+    def refresh_ctx_packet_pointers(self) -> None:
+        """Re-derive ctx packet pointers after adjust_head / adjust_tail."""
+        for field in self.hook.fields:
+            if field.kind == CtxFieldKind.PACKET_PTR:
+                value = self.packet_start
+            elif field.kind == CtxFieldKind.PACKET_END_PTR:
+                value = self.packet_end
+            else:
+                continue
+            self.ctx[field.offset:field.offset + field.size] = \
+                (value & ((1 << (8 * field.size)) - 1)).to_bytes(field.size, "little")
+
+    # ------------------------------------------------------------------ #
+    # Non-determinism sources
+    # ------------------------------------------------------------------ #
+    def next_random(self) -> int:
+        values = self.test.random_values or [0]
+        value = values[self._random_cursor % len(values)]
+        self._random_cursor += 1
+        return value & 0xFFFFFFFF
+
+    # ------------------------------------------------------------------ #
+    # Packet helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def packet_length(self) -> int:
+        return self.packet_end - self.packet_start
+
+    def packet_bytes(self) -> bytes:
+        return bytes(self.packet_buffer[self.packet_start:self.packet_end])
+
+    # ------------------------------------------------------------------ #
+    def snapshot_maps(self) -> Dict[int, Dict[bytes, bytes]]:
+        return {fd: state.snapshot() for fd, state in self.maps.items()}

@@ -1,0 +1,48 @@
+"""BPF object-file handling: container format, loader and patcher.
+
+The real K2 consumes BPF object files emitted by clang (ELF with a text
+section, map definitions and relocation records) and emits a patched ELF that
+is a drop-in replacement for the original (paper §7, Appendix D).  ELF itself
+is incidental to the paper; what matters is the round trip
+
+    object file  →  relocated bytecode + map environment  →  optimize
+                 →  patched object file with the original linkage intact.
+
+This package reproduces that round trip with a compact container format:
+
+* :mod:`repro.objfile.format` — the :class:`BpfObjectFile` container
+  (program sections, map symbols, relocation records, license) and its
+  binary serialization,
+* :mod:`repro.objfile.loader` — libbpf-style loading: map creation (fd
+  assignment) and relocation of ``LDDW`` map references, producing
+  :class:`repro.bpf.BpfProgram` objects ready for the compiler,
+* :mod:`repro.objfile.patcher` — producing a drop-in replacement object
+  file from an optimized program while preserving map symbols and
+  relocations.
+"""
+
+from .format import (
+    MapSymbol,
+    ObjectFormatError,
+    ProgramSection,
+    Relocation,
+    BpfObjectFile,
+)
+from .loader import LoadedObject, LoadedProgram, ObjectLoader, load_object
+from .patcher import ObjectPatcher, PatchError, build_object, patch_object
+
+__all__ = [
+    "build_object",
+    "BpfObjectFile",
+    "MapSymbol",
+    "ObjectFormatError",
+    "ProgramSection",
+    "Relocation",
+    "LoadedObject",
+    "LoadedProgram",
+    "ObjectLoader",
+    "load_object",
+    "ObjectPatcher",
+    "PatchError",
+    "patch_object",
+]

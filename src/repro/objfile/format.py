@@ -1,0 +1,296 @@
+"""The BPF object-file container format.
+
+A :class:`BpfObjectFile` plays the role of the clang-emitted ELF object in the
+original system: it carries one or more *program sections* (raw kernel-format
+bytecode), a table of *map symbols* (compile-time map definitions without file
+descriptors), per-program *relocation records* that tie ``LDDW`` map-reference
+instructions to map symbols, and the license string.
+
+The binary layout is deliberately simple — a fixed header followed by length-
+prefixed sections — but it exercises the same failure modes as real ELF
+handling: symbol/relocation bookkeeping, offset arithmetic in raw instruction
+slots (LDDW occupies two slots), and byte-exact round-tripping.  Encoding and
+decoding are covered by property-based tests because, as the paper notes,
+binary encode/decode is a classic source of compiler bugs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import struct
+from typing import Dict, List, Sequence
+
+from ..bpf.hooks import HookType
+from ..bpf.maps import MapDef, MapType
+
+__all__ = ["ObjectFormatError", "MapSymbol", "Relocation", "ProgramSection",
+           "BpfObjectFile"]
+
+#: File magic ("K2 object, BPF") and the format version this code writes.
+MAGIC = b"K2OBJBPF"
+FORMAT_VERSION = 1
+
+_HEADER = struct.Struct("<8sHHI")          # magic, version, flags, num sections
+_SECTION_HEADER = struct.Struct("<BI")     # section kind, payload length
+_MAP_SYMBOL = struct.Struct("<16sBIII")    # name, type, key, value, max_entries
+_RELOCATION = struct.Struct("<I16s")       # raw slot index, symbol name
+_PROGRAM_HEADER = struct.Struct("<32s16sII")  # name, hook, num relocs, text len
+
+_SECTION_LICENSE = 1
+_SECTION_MAPS = 2
+_SECTION_PROGRAM = 3
+
+_MAP_TYPE_CODES: Dict[MapType, int] = {
+    map_type: index for index, map_type in enumerate(MapType, start=1)
+}
+_MAP_TYPE_BY_CODE: Dict[int, MapType] = {
+    code: map_type for map_type, code in _MAP_TYPE_CODES.items()
+}
+
+_HOOK_CODES: Dict[HookType, bytes] = {
+    hook: hook.value.encode("ascii") for hook in HookType
+}
+
+
+class ObjectFormatError(ValueError):
+    """Raised for malformed object files or inconsistent metadata."""
+
+
+def _encode_name(name: str, width: int) -> bytes:
+    raw = name.encode("utf-8")
+    if len(raw) > width:
+        raise ObjectFormatError(f"name {name!r} longer than {width} bytes")
+    return raw.ljust(width, b"\0")
+
+
+def _decode_name(raw: bytes) -> str:
+    return raw.rstrip(b"\0").decode("utf-8")
+
+
+@dataclasses.dataclass(frozen=True)
+class MapSymbol:
+    """A compile-time map definition, before a file descriptor is assigned.
+
+    This is the object-file analogue of ``struct bpf_map_def`` living in the
+    ``maps`` ELF section: everything the loader needs to create the map, but
+    no runtime identity yet.
+    """
+
+    name: str
+    map_type: MapType
+    key_size: int
+    value_size: int
+    max_entries: int
+
+    def to_map_def(self, fd: int) -> MapDef:
+        """Instantiate the symbol as a runtime map definition with ``fd``."""
+        return MapDef(fd=fd, name=self.name, map_type=self.map_type,
+                      key_size=self.key_size, value_size=self.value_size,
+                      max_entries=self.max_entries)
+
+    @classmethod
+    def from_map_def(cls, definition: MapDef) -> "MapSymbol":
+        """Strip the runtime fd from a map definition."""
+        return cls(name=definition.name, map_type=definition.map_type,
+                   key_size=definition.key_size,
+                   value_size=definition.value_size,
+                   max_entries=definition.max_entries)
+
+
+@dataclasses.dataclass(frozen=True)
+class Relocation:
+    """One relocation record: a ``LDDW`` map reference inside a text section.
+
+    ``slot_index`` is the index of the *raw 8-byte instruction slot* (not the
+    logical instruction index) whose immediate must be rewritten with the map
+    file descriptor at load time, exactly like an ELF relocation targets a
+    byte offset in ``.text``.
+    """
+
+    slot_index: int
+    symbol: str
+
+
+@dataclasses.dataclass
+class ProgramSection:
+    """One program (text) section of the object file."""
+
+    name: str
+    hook_type: HookType
+    text: bytes
+    relocations: List[Relocation] = dataclasses.field(default_factory=list)
+
+    @property
+    def num_slots(self) -> int:
+        """Number of raw 8-byte instruction slots in the text."""
+        return len(self.text) // 8
+
+    def validate(self, map_symbols: Sequence[MapSymbol]) -> None:
+        """Check the section's internal consistency."""
+        if len(self.text) % 8 != 0:
+            raise ObjectFormatError(
+                f"program {self.name!r}: text length {len(self.text)} is not "
+                f"a multiple of the 8-byte instruction slot size")
+        names = {symbol.name for symbol in map_symbols}
+        for relocation in self.relocations:
+            if not 0 <= relocation.slot_index < self.num_slots:
+                raise ObjectFormatError(
+                    f"program {self.name!r}: relocation slot "
+                    f"{relocation.slot_index} outside the text section")
+            if relocation.symbol not in names:
+                raise ObjectFormatError(
+                    f"program {self.name!r}: relocation references unknown "
+                    f"map symbol {relocation.symbol!r}")
+
+
+@dataclasses.dataclass
+class BpfObjectFile:
+    """The object-file container: programs, map symbols and license."""
+
+    programs: List[ProgramSection] = dataclasses.field(default_factory=list)
+    maps: List[MapSymbol] = dataclasses.field(default_factory=list)
+    license: str = "GPL"
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+    def program(self, name: str) -> ProgramSection:
+        for section in self.programs:
+            if section.name == name:
+                return section
+        raise KeyError(name)
+
+    def map_symbol(self, name: str) -> MapSymbol:
+        for symbol in self.maps:
+            if symbol.name == name:
+                return symbol
+        raise KeyError(name)
+
+    def validate(self) -> None:
+        """Validate every section against the symbol table."""
+        names = [symbol.name for symbol in self.maps]
+        if len(names) != len(set(names)):
+            raise ObjectFormatError("duplicate map symbol names")
+        section_names = [section.name for section in self.programs]
+        if len(section_names) != len(set(section_names)):
+            raise ObjectFormatError("duplicate program section names")
+        for section in self.programs:
+            section.validate(self.maps)
+
+    # ------------------------------------------------------------------ #
+    # Binary serialization
+    # ------------------------------------------------------------------ #
+    def to_bytes(self) -> bytes:
+        """Serialize the object file to its binary representation."""
+        self.validate()
+        sections: List[bytes] = []
+
+        license_payload = self.license.encode("utf-8")
+        sections.append(_SECTION_HEADER.pack(_SECTION_LICENSE,
+                                             len(license_payload)))
+        sections.append(license_payload)
+
+        maps_payload = b"".join(
+            _MAP_SYMBOL.pack(_encode_name(symbol.name, 16),
+                             _MAP_TYPE_CODES[symbol.map_type],
+                             symbol.key_size, symbol.value_size,
+                             symbol.max_entries)
+            for symbol in self.maps)
+        sections.append(_SECTION_HEADER.pack(_SECTION_MAPS, len(maps_payload)))
+        sections.append(maps_payload)
+
+        for section in self.programs:
+            relocs = b"".join(
+                _RELOCATION.pack(reloc.slot_index,
+                                 _encode_name(reloc.symbol, 16))
+                for reloc in section.relocations)
+            header = _PROGRAM_HEADER.pack(
+                _encode_name(section.name, 32),
+                _encode_name(section.hook_type.value, 16),
+                len(section.relocations), len(section.text))
+            payload = header + relocs + section.text
+            sections.append(_SECTION_HEADER.pack(_SECTION_PROGRAM, len(payload)))
+            sections.append(payload)
+
+        header = _HEADER.pack(MAGIC, FORMAT_VERSION, 0,
+                              2 + len(self.programs))
+        return header + b"".join(sections)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "BpfObjectFile":
+        """Parse a binary object file; raises :class:`ObjectFormatError`."""
+        stream = io.BytesIO(data)
+        header = stream.read(_HEADER.size)
+        if len(header) < _HEADER.size:
+            raise ObjectFormatError("truncated object file header")
+        magic, version, _flags, num_sections = _HEADER.unpack(header)
+        if magic != MAGIC:
+            raise ObjectFormatError(f"bad magic {magic!r}")
+        if version != FORMAT_VERSION:
+            raise ObjectFormatError(f"unsupported format version {version}")
+
+        result = cls(programs=[], maps=[], license="")
+        for _ in range(num_sections):
+            raw = stream.read(_SECTION_HEADER.size)
+            if len(raw) < _SECTION_HEADER.size:
+                raise ObjectFormatError("truncated section header")
+            kind, length = _SECTION_HEADER.unpack(raw)
+            payload = stream.read(length)
+            if len(payload) < length:
+                raise ObjectFormatError("truncated section payload")
+            if kind == _SECTION_LICENSE:
+                result.license = payload.decode("utf-8")
+            elif kind == _SECTION_MAPS:
+                result.maps.extend(cls._parse_maps(payload))
+            elif kind == _SECTION_PROGRAM:
+                result.programs.append(cls._parse_program(payload))
+            else:
+                raise ObjectFormatError(f"unknown section kind {kind}")
+        if stream.read(1):
+            raise ObjectFormatError("trailing bytes after the last section")
+        result.validate()
+        return result
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _parse_maps(payload: bytes) -> List[MapSymbol]:
+        if len(payload) % _MAP_SYMBOL.size != 0:
+            raise ObjectFormatError("malformed map symbol table")
+        symbols = []
+        for offset in range(0, len(payload), _MAP_SYMBOL.size):
+            name, type_code, key_size, value_size, max_entries = \
+                _MAP_SYMBOL.unpack_from(payload, offset)
+            if type_code not in _MAP_TYPE_BY_CODE:
+                raise ObjectFormatError(f"unknown map type code {type_code}")
+            symbols.append(MapSymbol(
+                name=_decode_name(name),
+                map_type=_MAP_TYPE_BY_CODE[type_code],
+                key_size=key_size, value_size=value_size,
+                max_entries=max_entries))
+        return symbols
+
+    @staticmethod
+    def _parse_program(payload: bytes) -> ProgramSection:
+        if len(payload) < _PROGRAM_HEADER.size:
+            raise ObjectFormatError("truncated program section")
+        name, hook_name, num_relocs, text_len = \
+            _PROGRAM_HEADER.unpack_from(payload, 0)
+        offset = _PROGRAM_HEADER.size
+        relocations = []
+        for _ in range(num_relocs):
+            if offset + _RELOCATION.size > len(payload):
+                raise ObjectFormatError("truncated relocation table")
+            slot, symbol = _RELOCATION.unpack_from(payload, offset)
+            relocations.append(Relocation(slot_index=slot,
+                                          symbol=_decode_name(symbol)))
+            offset += _RELOCATION.size
+        text = payload[offset:offset + text_len]
+        if len(text) != text_len:
+            raise ObjectFormatError("truncated program text")
+        try:
+            hook_type = HookType(_decode_name(hook_name))
+        except ValueError as exc:
+            raise ObjectFormatError(str(exc)) from exc
+        return ProgramSection(name=_decode_name(name), hook_type=hook_type,
+                              text=text, relocations=relocations)

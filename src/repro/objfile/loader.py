@@ -1,0 +1,154 @@
+"""libbpf-style loading of BPF object files.
+
+Loading turns the compile-time artefact (:class:`~repro.objfile.format.
+BpfObjectFile`) into runnable programs:
+
+1. every map symbol is *created*, i.e. assigned a file descriptor and turned
+   into a :class:`repro.bpf.maps.MapDef` inside a shared
+   :class:`repro.bpf.maps.MapEnvironment`;
+2. every program section's text is decoded into logical instructions;
+3. relocation records are applied: each referenced ``LDDW`` slot gets the
+   pseudo-map-fd source marker and the freshly assigned file descriptor as its
+   64-bit immediate, which is exactly what ``libbpf`` does before handing the
+   program to the kernel (paper Appendix D — K2 consumes *relocated* ELF).
+
+The loader is deliberately strict: relocations must point at the first slot of
+a ``LDDW`` instruction, and un-relocated map references are rejected, because
+silently accepting them is how subtle drop-in-replacement bugs appear.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from ..bpf.encoder import decode_program
+from ..bpf.hooks import get_hook
+from ..bpf.instruction import Instruction
+from ..bpf.maps import MapEnvironment
+from ..bpf.program import BpfProgram
+from .format import BpfObjectFile, ObjectFormatError, ProgramSection
+
+__all__ = ["LoadedProgram", "LoadedObject", "ObjectLoader", "load_object"]
+
+#: Source-register marker the kernel uses for "imm is a map fd" LDDW loads.
+PSEUDO_MAP_FD = 1
+
+
+def _slot_of_logical(instructions: List[Instruction]) -> List[int]:
+    """Raw slot index of each logical instruction (LDDW occupies two slots)."""
+    slots = []
+    slot = 0
+    for insn in instructions:
+        slots.append(slot)
+        slot += 2 if insn.is_lddw else 1
+    return slots
+
+
+@dataclasses.dataclass
+class LoadedProgram:
+    """One relocated, runnable program plus its relocation bookkeeping."""
+
+    program: BpfProgram
+    section: ProgramSection
+    #: logical instruction index -> map symbol name, for every relocation.
+    relocated_instructions: Dict[int, str]
+
+
+@dataclasses.dataclass
+class LoadedObject:
+    """The result of loading a full object file."""
+
+    object_file: BpfObjectFile
+    maps: MapEnvironment
+    #: map symbol name -> assigned file descriptor.
+    map_fds: Dict[str, int]
+    programs: List[LoadedProgram]
+
+    def program(self, name: str) -> BpfProgram:
+        for loaded in self.programs:
+            if loaded.program.name == name:
+                return loaded.program
+        raise KeyError(name)
+
+
+class ObjectLoader:
+    """Loads object files: creates maps and applies relocations."""
+
+    def __init__(self, first_fd: int = 1):
+        if first_fd <= 0:
+            raise ValueError("file descriptors must be positive")
+        self.first_fd = first_fd
+
+    # ------------------------------------------------------------------ #
+    def load(self, object_file: BpfObjectFile) -> LoadedObject:
+        """Create maps, relocate and decode every program section."""
+        object_file.validate()
+        maps, map_fds = self._create_maps(object_file)
+        programs = [self._load_section(section, maps, map_fds)
+                    for section in object_file.programs]
+        return LoadedObject(object_file=object_file, maps=maps,
+                            map_fds=map_fds, programs=programs)
+
+    # ------------------------------------------------------------------ #
+    def _create_maps(self, object_file: BpfObjectFile
+                     ) -> tuple[MapEnvironment, Dict[str, int]]:
+        environment = MapEnvironment()
+        fds: Dict[str, int] = {}
+        next_fd = self.first_fd
+        for symbol in object_file.maps:
+            definition = symbol.to_map_def(next_fd)
+            environment.add(definition)
+            fds[symbol.name] = next_fd
+            next_fd += 1
+        return environment, fds
+
+    def _load_section(self, section: ProgramSection, maps: MapEnvironment,
+                      map_fds: Dict[str, int]) -> LoadedProgram:
+        instructions = decode_program(section.text)
+        slots = _slot_of_logical(instructions)
+        logical_by_slot = {slot: index for index, slot in enumerate(slots)}
+
+        relocated: Dict[int, str] = {}
+        for relocation in section.relocations:
+            index = logical_by_slot.get(relocation.slot_index)
+            if index is None:
+                raise ObjectFormatError(
+                    f"program {section.name!r}: relocation slot "
+                    f"{relocation.slot_index} is not the first slot of an "
+                    f"instruction")
+            insn = instructions[index]
+            if not insn.is_lddw:
+                raise ObjectFormatError(
+                    f"program {section.name!r}: relocation at slot "
+                    f"{relocation.slot_index} does not target a LDDW "
+                    f"instruction")
+            fd = map_fds[relocation.symbol]
+            instructions[index] = insn.with_fields(
+                src=PSEUDO_MAP_FD, imm=fd, imm64=fd)
+            relocated[index] = relocation.symbol
+
+        self._check_no_unrelocated_references(section, instructions, relocated)
+        program = BpfProgram(instructions=instructions,
+                             hook=get_hook(section.hook_type),
+                             maps=maps, name=section.name)
+        program.validate()
+        return LoadedProgram(program=program, section=section,
+                             relocated_instructions=relocated)
+
+    @staticmethod
+    def _check_no_unrelocated_references(section: ProgramSection,
+                                         instructions: List[Instruction],
+                                         relocated: Dict[int, str]) -> None:
+        for index, insn in enumerate(instructions):
+            if insn.is_lddw and insn.src == PSEUDO_MAP_FD \
+                    and index not in relocated:
+                raise ObjectFormatError(
+                    f"program {section.name!r}: instruction {index} is a map "
+                    f"reference but has no relocation record")
+
+
+def load_object(object_file: BpfObjectFile,
+                first_fd: int = 1) -> LoadedObject:
+    """Convenience wrapper: ``ObjectLoader(first_fd).load(object_file)``."""
+    return ObjectLoader(first_fd=first_fd).load(object_file)

@@ -1,0 +1,184 @@
+"""Producing drop-in replacement object files.
+
+K2's output path (paper §7, Appendix D): the optimized instruction sequence is
+patched back into the original object file so that every piece of linkage
+metadata — map symbols and the relocation records that tie ``LDDW`` map
+references to them — stays valid.  The result can be handed to the same loader
+as the original object and behaves as a drop-in replacement.
+
+Two entry points:
+
+* :func:`build_object` constructs an object file from scratch out of
+  :class:`~repro.bpf.program.BpfProgram` objects (the reverse of loading) —
+  used by the test corpus and by examples to fabricate "clang outputs";
+* :class:`ObjectPatcher` / :func:`patch_object` replace one program section
+  of an existing object file with an optimized program, recomputing its
+  relocation records.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..bpf.encoder import encode_program
+from ..bpf.instruction import Instruction
+from ..bpf.maps import MapEnvironment
+from ..bpf.program import BpfProgram
+from .format import BpfObjectFile, MapSymbol, ObjectFormatError, \
+    ProgramSection, Relocation
+from .loader import PSEUDO_MAP_FD, _slot_of_logical
+
+__all__ = ["PatchError", "ObjectPatcher", "patch_object", "build_object"]
+
+
+class PatchError(ValueError):
+    """Raised when an optimized program cannot be patched into the object."""
+
+
+def _strip_map_fds(instructions: Sequence[Instruction]) -> List[Instruction]:
+    """Zero the immediates of map references, as stored in an object file."""
+    stripped = []
+    for insn in instructions:
+        if insn.is_lddw and insn.src == PSEUDO_MAP_FD:
+            stripped.append(insn.with_fields(imm=0, imm64=0))
+        else:
+            stripped.append(insn)
+    return stripped
+
+
+def _map_references(instructions: Sequence[Instruction]) -> Dict[int, int]:
+    """Logical index -> map fd for every map-reference LDDW instruction."""
+    return {index: (insn.imm64 if insn.imm64 is not None else insn.imm)
+            for index, insn in enumerate(instructions)
+            if insn.is_lddw and insn.src == PSEUDO_MAP_FD}
+
+
+def _relocations_for(instructions: Sequence[Instruction],
+                     symbol_by_fd: Dict[int, str]) -> List[Relocation]:
+    """Relocation records for the map references of an instruction list."""
+    slots = _slot_of_logical(list(instructions))
+    relocations = []
+    for index, fd in _map_references(instructions).items():
+        symbol = symbol_by_fd.get(fd)
+        if symbol is None:
+            raise PatchError(
+                f"instruction {index} references map fd {fd}, which does not "
+                f"correspond to any map symbol of the object file")
+        relocations.append(Relocation(slot_index=slots[index], symbol=symbol))
+    return relocations
+
+
+def build_object(programs: Iterable[BpfProgram],
+                 maps: Optional[MapEnvironment] = None,
+                 license: str = "GPL") -> BpfObjectFile:
+    """Build an object file from programs sharing one map environment.
+
+    Map symbols are derived from the map environment (or, if omitted, from the
+    first program's map environment); each program's ``LDDW`` map references
+    are converted into relocation records against those symbols and their
+    immediates zeroed in the stored text, which is how a compiler emits them
+    before loading assigns file descriptors.
+    """
+    programs = list(programs)
+    if not programs:
+        raise PatchError("an object file needs at least one program section")
+    environment = maps if maps is not None else programs[0].maps
+    symbols = [MapSymbol.from_map_def(definition)
+               for definition in environment.definitions()]
+    symbol_by_fd = {definition.fd: definition.name
+                    for definition in environment.definitions()}
+
+    sections = []
+    for program in programs:
+        relocations = _relocations_for(program.instructions, symbol_by_fd)
+        text = encode_program(_strip_map_fds(program.instructions))
+        sections.append(ProgramSection(
+            name=program.name, hook_type=program.hook.hook_type,
+            text=text, relocations=relocations))
+
+    object_file = BpfObjectFile(programs=sections, maps=symbols,
+                                license=license)
+    object_file.validate()
+    return object_file
+
+
+class ObjectPatcher:
+    """Patches optimized programs back into an existing object file."""
+
+    def __init__(self, object_file: BpfObjectFile,
+                 map_fds: Optional[Dict[str, int]] = None):
+        """``map_fds`` is the symbol→fd assignment used when the object was
+        loaded; if omitted, the loader's default sequential assignment is
+        assumed (fd 1 for the first symbol, 2 for the second, ...)."""
+        self.object_file = object_file
+        if map_fds is None:
+            map_fds = {symbol.name: index + 1
+                       for index, symbol in enumerate(object_file.maps)}
+        self.map_fds = dict(map_fds)
+        self._symbol_by_fd = {fd: name for name, fd in self.map_fds.items()}
+
+    # ------------------------------------------------------------------ #
+    def patch(self, section_name: str, optimized: BpfProgram) -> BpfObjectFile:
+        """Return a new object file with ``section_name`` replaced.
+
+        Every other section, the map symbol table and the license are carried
+        over untouched; the patched section's relocations are recomputed from
+        the optimized program's map references.
+        """
+        optimized.validate()
+        original = self._find_section(section_name)
+        if original.hook_type != optimized.hook.hook_type:
+            raise PatchError(
+                f"optimized program targets hook "
+                f"{optimized.hook.hook_type.value!r} but section "
+                f"{section_name!r} was compiled for "
+                f"{original.hook_type.value!r}")
+
+        relocations = _relocations_for(optimized.instructions,
+                                       self._symbol_by_fd)
+        self._check_same_maps_referenced(original, relocations, section_name)
+        text = encode_program(_strip_map_fds(optimized.instructions))
+        patched_section = ProgramSection(
+            name=original.name, hook_type=original.hook_type,
+            text=text, relocations=relocations)
+
+        sections = [patched_section if section.name == section_name else section
+                    for section in self.object_file.programs]
+        patched = BpfObjectFile(programs=sections,
+                                maps=list(self.object_file.maps),
+                                license=self.object_file.license)
+        patched.validate()
+        return patched
+
+    # ------------------------------------------------------------------ #
+    def _find_section(self, name: str) -> ProgramSection:
+        try:
+            return self.object_file.program(name)
+        except KeyError as exc:
+            raise PatchError(f"no program section named {name!r}") from exc
+
+    @staticmethod
+    def _check_same_maps_referenced(original: ProgramSection,
+                                    relocations: Sequence[Relocation],
+                                    section_name: str) -> None:
+        """A drop-in replacement must not reference maps the original didn't.
+
+        The optimizer may *drop* a map reference (e.g. if a lookup becomes
+        dead code) but introducing a new one would change the program's
+        externally visible footprint.
+        """
+        original_symbols = {reloc.symbol for reloc in original.relocations}
+        new_symbols = {reloc.symbol for reloc in relocations}
+        extra = new_symbols - original_symbols
+        if extra:
+            raise PatchError(
+                f"optimized section {section_name!r} references maps the "
+                f"original did not: {sorted(extra)}")
+
+
+def patch_object(object_file: BpfObjectFile, section_name: str,
+                 optimized: BpfProgram,
+                 map_fds: Optional[Dict[str, int]] = None) -> BpfObjectFile:
+    """Convenience wrapper around :class:`ObjectPatcher`."""
+    return ObjectPatcher(object_file, map_fds=map_fds).patch(section_name,
+                                                             optimized)

@@ -1,0 +1,10 @@
+"""Performance models and the packet-processing benchmark rig."""
+
+from .latency_model import (
+    OpcodeLatencyModel, DEFAULT_LATENCY_MODEL, estimate_program_latency,
+    instruction_cost,
+)
+from .profiles import OpcodeProfile, OpcodeProfiler, ProfileReport
+from .rig import BenchmarkRig, DeviceUnderTest, LoadPoint, TrafficGenerator
+
+__all__ = [name for name in dir() if not name.startswith("_")]

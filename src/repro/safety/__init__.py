@@ -1,0 +1,7 @@
+"""Safety checking of candidate BPF programs (paper section 6)."""
+
+from .safety_checker import (
+    SafetyChecker, SafetyResult, SafetyViolation, SafetyViolationKind,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,117 @@
+"""Shared concrete semantics of BPF ALU and jump operations.
+
+K2 generates both its interpreter and its verification-condition generator
+from a single declarative specification of each instruction's semantics
+(paper §7), which avoids the interpreter and the first-order-logic encoding
+drifting apart.  This module plays that role for the reproduction: the
+interpreter calls these functions directly, and the symbolic encoder's output
+is differentially tested against them (``tests/test_equivalence_soundness.py``).
+
+All values are Python integers interpreted as unsigned 64-bit words.
+"""
+
+from __future__ import annotations
+
+from .bpf.opcodes import AluOp, JmpOp
+
+__all__ = ["alu_op_concrete", "jump_taken_concrete", "to_signed", "to_unsigned"]
+
+_U64 = (1 << 64) - 1
+_U32 = (1 << 32) - 1
+
+
+def to_signed(value: int, bits: int = 64) -> int:
+    """Reinterpret an unsigned ``bits``-wide value as signed."""
+    value &= (1 << bits) - 1
+    if value >= 1 << (bits - 1):
+        return value - (1 << bits)
+    return value
+
+
+def to_unsigned(value: int, bits: int = 64) -> int:
+    """Reinterpret a signed value as unsigned ``bits``-wide."""
+    return value & ((1 << bits) - 1)
+
+
+def alu_op_concrete(op: AluOp, dst: int, src: int, is64: bool) -> int:
+    """Evaluate one ALU operation.
+
+    32-bit operations consume the low halves of their operands and
+    zero-extend the 32-bit result into the destination, matching the
+    ``bpf_add32`` example in paper §4.1.
+
+    Division and modulo follow the BPF runtime semantics: ``x / 0 == 0`` and
+    ``x % 0 == x`` (the kernel checker additionally rejects unguarded
+    divisions, but the runtime value is defined).
+    """
+    width = 64 if is64 else 32
+    mask = _U64 if is64 else _U32
+    shift_mask = width - 1
+    a = dst & mask
+    b = src & mask
+
+    if op == AluOp.ADD:
+        result = a + b
+    elif op == AluOp.SUB:
+        result = a - b
+    elif op == AluOp.MUL:
+        result = a * b
+    elif op == AluOp.DIV:
+        result = 0 if b == 0 else a // b
+    elif op == AluOp.MOD:
+        result = a if b == 0 else a % b
+    elif op == AluOp.OR:
+        result = a | b
+    elif op == AluOp.AND:
+        result = a & b
+    elif op == AluOp.XOR:
+        result = a ^ b
+    elif op == AluOp.LSH:
+        result = a << (b & shift_mask)
+    elif op == AluOp.RSH:
+        result = a >> (b & shift_mask)
+    elif op == AluOp.ARSH:
+        result = to_signed(a, width) >> (b & shift_mask)
+    elif op == AluOp.MOV:
+        result = b
+    elif op == AluOp.NEG:
+        result = -a
+    else:
+        raise ValueError(f"unsupported ALU op {op!r}")
+    return result & mask
+
+
+def jump_taken_concrete(op: JmpOp, dst: int, src: int, is64: bool = True) -> bool:
+    """Evaluate the predicate of a conditional jump."""
+    width = 64 if is64 else 32
+    mask = (1 << width) - 1
+    a = dst & mask
+    b = src & mask
+    sa = to_signed(a, width)
+    sb = to_signed(b, width)
+
+    if op == JmpOp.JEQ:
+        return a == b
+    if op == JmpOp.JNE:
+        return a != b
+    if op == JmpOp.JGT:
+        return a > b
+    if op == JmpOp.JGE:
+        return a >= b
+    if op == JmpOp.JLT:
+        return a < b
+    if op == JmpOp.JLE:
+        return a <= b
+    if op == JmpOp.JSGT:
+        return sa > sb
+    if op == JmpOp.JSGE:
+        return sa >= sb
+    if op == JmpOp.JSLT:
+        return sa < sb
+    if op == JmpOp.JSLE:
+        return sa <= sb
+    if op == JmpOp.JSET:
+        return (a & b) != 0
+    if op == JmpOp.JA:
+        return True
+    raise ValueError(f"unsupported jump op {op!r}")

@@ -1,0 +1,20 @@
+"""A from-scratch QF_BV decision procedure (the reproduction's Z3 substitute)."""
+
+from .bitvec import (
+    Expr, TRUE, FALSE,
+    bv_const, bv_var, bool_const, bool_var,
+    bv_add, bv_sub, bv_mul, bv_udiv, bv_urem, bv_neg,
+    bv_and, bv_or, bv_xor, bv_not,
+    bv_shl, bv_lshr, bv_ashr,
+    bv_concat, bv_extract, bv_zero_extend, bv_sign_extend,
+    bv_ite, bv_eq, bv_ne, bv_ult, bv_ule, bv_ugt, bv_uge,
+    bv_slt, bv_sle, bv_sgt, bv_sge,
+    bool_and, bool_or, bool_not, bool_implies, bool_ite, bool_xor,
+)
+from .simplify import evaluate, substitute, collect_vars
+from .cnf import CNF
+from .sat import SatSolver, SatResult, solve_cnf
+from .bitblast import BitBlaster
+from .solver import Solver, CheckResult, Model, SolverStats
+
+__all__ = [name for name in dir() if not name.startswith("_")]

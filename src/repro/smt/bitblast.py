@@ -1,0 +1,352 @@
+"""Tseitin bit-blasting of bit-vector expressions to CNF.
+
+Every bit-vector expression is translated into a list of CNF literals (least
+significant bit first); boolean expressions translate into a single literal.
+The translation is the classic one: ripple-carry adders, shift-and-add
+multipliers, restoring division, barrel shifters and comparator chains, each
+encoded with Tseitin auxiliary variables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from .bitvec import Expr
+from .cnf import CNF
+
+__all__ = ["BitBlaster"]
+
+Lits = List[int]
+
+
+class BitBlaster:
+    """Translate expressions into clauses over a shared :class:`CNF`."""
+
+    def __init__(self, cnf: CNF):
+        self.cnf = cnf
+        self._cache: Dict[Expr, Union[Lits, int]] = {}
+        self.var_bits: Dict[str, Lits] = {}
+        self.bool_vars: Dict[str, int] = {}
+        self._true = cnf.new_var()
+        cnf.add_clause([self._true])
+
+    # ------------------------------------------------------------------ #
+    # Primitive gates
+    # ------------------------------------------------------------------ #
+    @property
+    def true_lit(self) -> int:
+        return self._true
+
+    @property
+    def false_lit(self) -> int:
+        return -self._true
+
+    def _const_lit(self, value: bool) -> int:
+        return self._true if value else -self._true
+
+    def _gate_and(self, a: int, b: int) -> int:
+        out = self.cnf.new_var()
+        self.cnf.add_clause([-a, -b, out])
+        self.cnf.add_clause([a, -out])
+        self.cnf.add_clause([b, -out])
+        return out
+
+    def _gate_or(self, a: int, b: int) -> int:
+        out = self.cnf.new_var()
+        self.cnf.add_clause([a, b, -out])
+        self.cnf.add_clause([-a, out])
+        self.cnf.add_clause([-b, out])
+        return out
+
+    def _gate_xor(self, a: int, b: int) -> int:
+        out = self.cnf.new_var()
+        self.cnf.add_clause([-a, -b, -out])
+        self.cnf.add_clause([a, b, -out])
+        self.cnf.add_clause([a, -b, out])
+        self.cnf.add_clause([-a, b, out])
+        return out
+
+    def _gate_mux(self, cond: int, then: int, otherwise: int) -> int:
+        """out = cond ? then : otherwise."""
+        out = self.cnf.new_var()
+        self.cnf.add_clause([-cond, -then, out])
+        self.cnf.add_clause([-cond, then, -out])
+        self.cnf.add_clause([cond, -otherwise, out])
+        self.cnf.add_clause([cond, otherwise, -out])
+        return out
+
+    def _gate_and_many(self, lits: Lits) -> int:
+        if not lits:
+            return self._true
+        if len(lits) == 1:
+            return lits[0]
+        out = self.cnf.new_var()
+        for lit in lits:
+            self.cnf.add_clause([lit, -out])
+        self.cnf.add_clause([-lit for lit in lits] + [out])
+        return out
+
+    def _gate_or_many(self, lits: Lits) -> int:
+        if not lits:
+            return -self._true
+        if len(lits) == 1:
+            return lits[0]
+        out = self.cnf.new_var()
+        for lit in lits:
+            self.cnf.add_clause([-lit, out])
+        self.cnf.add_clause(list(lits) + [-out])
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Word-level circuits
+    # ------------------------------------------------------------------ #
+    def _adder(self, a: Lits, b: Lits, carry_in: int) -> tuple[Lits, int]:
+        """Ripple-carry addition; returns (sum bits, carry out)."""
+        result = []
+        carry = carry_in
+        for bit_a, bit_b in zip(a, b):
+            axb = self._gate_xor(bit_a, bit_b)
+            result.append(self._gate_xor(axb, carry))
+            carry = self._gate_or(self._gate_and(bit_a, bit_b),
+                                  self._gate_and(axb, carry))
+        return result, carry
+
+    def _negate_bits(self, a: Lits) -> Lits:
+        return [-bit for bit in a]
+
+    def _subtract(self, a: Lits, b: Lits) -> tuple[Lits, int]:
+        """a - b; the returned carry-out is 1 iff a >= b (no borrow)."""
+        return self._adder(a, self._negate_bits(b), self._true)
+
+    def _unsigned_less_than(self, a: Lits, b: Lits) -> int:
+        """Lexicographic comparator: a < b unsigned.
+
+        Encoded most-significant-bit first with a chain of "prefix equal so
+        far" variables; this propagates better in the CDCL solver than the
+        borrow-chain encoding.
+        """
+        less = self.false_lit
+        for bit_a, bit_b in zip(a, b):  # LSB first: fold from the bottom up
+            bit_lt = self._gate_and(-bit_a, bit_b)
+            bit_eq = -self._gate_xor(bit_a, bit_b)
+            less = self._gate_or(bit_lt, self._gate_and(bit_eq, less))
+        return less
+
+    def _equal(self, a: Lits, b: Lits) -> int:
+        xnors = [-self._gate_xor(x, y) for x, y in zip(a, b)]
+        return self._gate_and_many(xnors)
+
+    def _mux_word(self, cond: int, then: Lits, otherwise: Lits) -> Lits:
+        return [self._gate_mux(cond, t, o) for t, o in zip(then, otherwise)]
+
+    def _shift_left_const(self, a: Lits, amount: int) -> Lits:
+        width = len(a)
+        return [self.false_lit] * min(amount, width) + a[:max(width - amount, 0)]
+
+    def _shift_right_const(self, a: Lits, amount: int, fill: int) -> Lits:
+        width = len(a)
+        if amount >= width:
+            return [fill] * width
+        return a[amount:] + [fill] * amount
+
+    def _barrel_shift(self, a: Lits, shamt: Lits, direction: str) -> Lits:
+        """Variable shift via a logarithmic barrel shifter.
+
+        Semantics follow SMT-LIB: shifting by >= width yields zero (or the
+        sign fill for arithmetic right shifts).  The symbolic executor masks
+        BPF shift amounts before calling this, so the overflow path is only a
+        safety net.
+        """
+        width = len(a)
+        fill = a[-1] if direction == "ashr" else self.false_lit
+        stages = max(1, (width - 1).bit_length())
+        result = list(a)
+        for stage in range(stages):
+            amount = 1 << stage
+            if direction == "shl":
+                shifted = self._shift_left_const(result, amount)
+            else:
+                shifted = self._shift_right_const(result, amount, fill)
+            result = self._mux_word(shamt[stage], shifted, result)
+        overflow = self._gate_or_many(shamt[stages:]) if len(shamt) > stages \
+            else self.false_lit
+        return self._mux_word(overflow, [fill] * width, result)
+
+    def _multiplier(self, a: Lits, b: Lits) -> Lits:
+        width = len(a)
+        accumulator = [self.false_lit] * width
+        for index in range(width):
+            shifted = self._shift_left_const(a, index)
+            added, _ = self._adder(accumulator, shifted, self.false_lit)
+            accumulator = self._mux_word(b[index], added, accumulator)
+        return accumulator
+
+    def _divider(self, a: Lits, b: Lits) -> tuple[Lits, Lits]:
+        """Restoring division; returns (quotient, remainder).
+
+        The caller wraps the results with the BPF divide-by-zero semantics.
+        """
+        width = len(a)
+        remainder = [self.false_lit] * width
+        quotient = [self.false_lit] * width
+        for index in range(width - 1, -1, -1):
+            remainder = [a[index]] + remainder[:-1]
+            difference, no_borrow = self._subtract(remainder, b)
+            remainder = self._mux_word(no_borrow, difference, remainder)
+            quotient[index] = no_borrow
+        return quotient, remainder
+
+    # ------------------------------------------------------------------ #
+    # Expression translation
+    # ------------------------------------------------------------------ #
+    def blast_bv(self, expr: Expr) -> Lits:
+        """Translate a bit-vector expression, returning its bit literals."""
+        cached = self._cache.get(expr)
+        if cached is not None:
+            return cached  # type: ignore[return-value]
+        op = expr.op
+        if op == "bvconst":
+            bits = [self._const_lit(bool((expr.value >> i) & 1))
+                    for i in range(expr.width)]
+        elif op == "bvvar":
+            bits = self.var_bits.get(expr.name)
+            if bits is None:
+                bits = [self.cnf.new_var() for _ in range(expr.width)]
+                self.var_bits[expr.name] = bits
+        elif op == "bvadd":
+            bits, _ = self._adder(self.blast_bv(expr.args[0]),
+                                  self.blast_bv(expr.args[1]), self.false_lit)
+        elif op == "bvsub":
+            bits, _ = self._subtract(self.blast_bv(expr.args[0]),
+                                     self.blast_bv(expr.args[1]))
+        elif op == "bvmul":
+            bits = self._multiplier(self.blast_bv(expr.args[0]),
+                                    self.blast_bv(expr.args[1]))
+        elif op in ("bvudiv", "bvurem"):
+            a = self.blast_bv(expr.args[0])
+            b = self.blast_bv(expr.args[1])
+            quotient, remainder = self._divider(a, b)
+            divisor_is_zero = self._equal(b, [self.false_lit] * len(b))
+            if op == "bvudiv":
+                # BPF: x / 0 == 0.
+                bits = self._mux_word(divisor_is_zero,
+                                      [self.false_lit] * len(a), quotient)
+            else:
+                # BPF: x % 0 == x.
+                bits = self._mux_word(divisor_is_zero, a, remainder)
+        elif op == "bvand":
+            bits = [self._gate_and(x, y)
+                    for x, y in zip(self.blast_bv(expr.args[0]),
+                                    self.blast_bv(expr.args[1]))]
+        elif op == "bvor":
+            bits = [self._gate_or(x, y)
+                    for x, y in zip(self.blast_bv(expr.args[0]),
+                                    self.blast_bv(expr.args[1]))]
+        elif op == "bvxor":
+            bits = [self._gate_xor(x, y)
+                    for x, y in zip(self.blast_bv(expr.args[0]),
+                                    self.blast_bv(expr.args[1]))]
+        elif op == "bvnot":
+            bits = self._negate_bits(self.blast_bv(expr.args[0]))
+        elif op in ("bvshl", "bvlshr", "bvashr"):
+            a = self.blast_bv(expr.args[0])
+            shamt_expr = expr.args[1]
+            direction = {"bvshl": "shl", "bvlshr": "lshr", "bvashr": "ashr"}[op]
+            if shamt_expr.op == "bvconst":
+                amount = shamt_expr.value
+                if direction == "shl":
+                    bits = self._shift_left_const(a, min(amount, len(a)))
+                else:
+                    fill = a[-1] if direction == "ashr" else self.false_lit
+                    bits = self._shift_right_const(a, min(amount, len(a)), fill)
+            else:
+                bits = self._barrel_shift(a, self.blast_bv(shamt_expr), direction)
+        elif op == "bvconcat":
+            high, low = expr.args
+            bits = self.blast_bv(low) + self.blast_bv(high)
+        elif op == "bvextract":
+            hi = expr.value >> 16
+            lo = expr.value & 0xFFFF
+            bits = self.blast_bv(expr.args[0])[lo:hi + 1]
+        elif op == "bvzext":
+            inner = self.blast_bv(expr.args[0])
+            bits = inner + [self.false_lit] * (expr.width - len(inner))
+        elif op == "bvsext":
+            inner = self.blast_bv(expr.args[0])
+            bits = inner + [inner[-1]] * (expr.width - len(inner))
+        elif op == "bvite":
+            cond = self.blast_bool(expr.args[0])
+            bits = self._mux_word(cond, self.blast_bv(expr.args[1]),
+                                  self.blast_bv(expr.args[2]))
+        else:
+            raise ValueError(f"cannot bit-blast bit-vector op {op!r}")
+        if len(bits) != expr.width:
+            raise AssertionError(
+                f"blasted width {len(bits)} != expression width {expr.width} for {op}")
+        self._cache[expr] = bits
+        return bits
+
+    def blast_bool(self, expr: Expr) -> int:
+        """Translate a boolean expression, returning a single literal."""
+        cached = self._cache.get(expr)
+        if cached is not None:
+            return cached  # type: ignore[return-value]
+        op = expr.op
+        if op == "boolconst":
+            lit = self._const_lit(bool(expr.value))
+        elif op == "boolvar":
+            lit = self.bool_vars.get(expr.name)
+            if lit is None:
+                lit = self.cnf.new_var()
+                self.bool_vars[expr.name] = lit
+        elif op == "boolnot":
+            lit = -self.blast_bool(expr.args[0])
+        elif op == "booland":
+            lit = self._gate_and_many([self.blast_bool(arg) for arg in expr.args])
+        elif op == "boolor":
+            lit = self._gate_or_many([self.blast_bool(arg) for arg in expr.args])
+        elif op == "boolxor":
+            lit = self._gate_xor(self.blast_bool(expr.args[0]),
+                                 self.blast_bool(expr.args[1]))
+        elif op == "bveq":
+            lit = self._equal(self.blast_bv(expr.args[0]),
+                              self.blast_bv(expr.args[1]))
+        elif op == "bvult":
+            lit = self._unsigned_less_than(self.blast_bv(expr.args[0]),
+                                           self.blast_bv(expr.args[1]))
+        elif op == "bvule":
+            lit = -self._unsigned_less_than(self.blast_bv(expr.args[1]),
+                                            self.blast_bv(expr.args[0]))
+        elif op in ("bvslt", "bvsle"):
+            a = self.blast_bv(expr.args[0])
+            b = self.blast_bv(expr.args[1])
+            a_sign, b_sign = a[-1], b[-1]
+            if op == "bvslt":
+                unsigned = self._unsigned_less_than(a, b)
+            else:
+                unsigned = -self._unsigned_less_than(b, a)
+            signs_differ = self._gate_xor(a_sign, b_sign)
+            # If the signs differ, a < b iff a is negative.
+            lit = self._gate_mux(signs_differ, a_sign, unsigned)
+        else:
+            raise ValueError(f"cannot bit-blast boolean op {op!r}")
+        self._cache[expr] = lit
+        return lit
+
+    # ------------------------------------------------------------------ #
+    def assert_expr(self, expr: Expr) -> None:
+        """Assert a boolean expression (add it as a unit constraint)."""
+        self.cnf.add_clause([self.blast_bool(expr)])
+
+    def extract_value(self, name: str, model: Dict[int, bool]) -> int:
+        """Read back the value of a bit-vector variable from a SAT model."""
+        bits = self.var_bits.get(name)
+        if bits is None:
+            return 0
+        value = 0
+        for index, lit in enumerate(bits):
+            assigned = model.get(abs(lit), False)
+            bit = assigned if lit > 0 else not assigned
+            if bit:
+                value |= 1 << index
+        return value

@@ -1,0 +1,599 @@
+"""Bit-vector and boolean expression DAG.
+
+This is the reproduction's stand-in for Z3's expression layer (paper §7 uses
+Z3 as the internal logic solver).  Expressions are immutable, hash-consed and
+eagerly simplified at construction time: constant folding and the algebraic
+identities below collapse most verification conditions produced for
+structurally-similar candidate programs before the SAT solver is ever invoked.
+
+Expression sorts:
+
+* ``bv`` — fixed-width bit vectors (the theory of paper §4),
+* ``bool`` — propositional connectives and bit-vector predicates.
+
+Constructor functions (``bv_add``, ``bv_ult``, ``bool_and``...) are the public
+API; the :class:`Expr` class also overloads the natural Python operators for
+readability in the symbolic executor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+__all__ = [
+    "Expr", "bv_const", "bv_var", "bool_const", "bool_var",
+    "bv_add", "bv_sub", "bv_mul", "bv_udiv", "bv_urem", "bv_neg",
+    "bv_and", "bv_or", "bv_xor", "bv_not",
+    "bv_shl", "bv_lshr", "bv_ashr",
+    "bv_concat", "bv_extract", "bv_zero_extend", "bv_sign_extend",
+    "bv_ite", "bv_eq", "bv_ne", "bv_ult", "bv_ule", "bv_ugt", "bv_uge",
+    "bv_slt", "bv_sle", "bv_sgt", "bv_sge",
+    "bool_and", "bool_or", "bool_not", "bool_implies", "bool_ite", "bool_xor",
+    "TRUE", "FALSE",
+]
+
+# ----------------------------------------------------------------------------- #
+# Expression node
+# ----------------------------------------------------------------------------- #
+_INTERN: Dict[tuple, "Expr"] = {}
+
+
+class Expr:
+    """An immutable, interned expression node."""
+
+    __slots__ = ("op", "args", "width", "value", "name", "_hash")
+
+    def __init__(self, op: str, args: Tuple["Expr", ...] = (),
+                 width: int = 0, value: Optional[int] = None,
+                 name: Optional[str] = None):
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "args", args)
+        object.__setattr__(self, "width", width)
+        object.__setattr__(self, "value", value)
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "_hash",
+                           hash((op, args, width, value, name)))
+
+    # Interning ---------------------------------------------------------- #
+    @staticmethod
+    def make(op: str, args: Tuple["Expr", ...] = (), width: int = 0,
+             value: Optional[int] = None, name: Optional[str] = None) -> "Expr":
+        key = (op, args, width, value, name)
+        cached = _INTERN.get(key)
+        if cached is None:
+            cached = Expr(op, args, width, value, name)
+            _INTERN[key] = cached
+        return cached
+
+    def __setattr__(self, key, value):  # pragma: no cover - immutability guard
+        raise AttributeError("Expr is immutable")
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Expr):
+            return NotImplemented
+        return (self.op == other.op and self.args == other.args
+                and self.width == other.width and self.value == other.value
+                and self.name == other.name)
+
+    # Introspection -------------------------------------------------------- #
+    @property
+    def is_bool(self) -> bool:
+        return self.width == 0
+
+    @property
+    def is_const(self) -> bool:
+        return self.op in ("bvconst", "boolconst")
+
+    @property
+    def is_var(self) -> bool:
+        return self.op in ("bvvar", "boolvar")
+
+    def __repr__(self) -> str:
+        if self.op == "bvconst":
+            return f"bv{self.width}({self.value:#x})"
+        if self.op == "boolconst":
+            return "true" if self.value else "false"
+        if self.is_var:
+            return f"{self.name}:{self.width or 'bool'}"
+        return f"({self.op} {' '.join(map(repr, self.args))})"
+
+    # Operator sugar (bit vectors) ----------------------------------------- #
+    def __add__(self, other):
+        return bv_add(self, _coerce(other, self.width))
+
+    def __sub__(self, other):
+        return bv_sub(self, _coerce(other, self.width))
+
+    def __mul__(self, other):
+        return bv_mul(self, _coerce(other, self.width))
+
+    def __and__(self, other):
+        if self.is_bool:
+            return bool_and(self, other)
+        return bv_and(self, _coerce(other, self.width))
+
+    def __or__(self, other):
+        if self.is_bool:
+            return bool_or(self, other)
+        return bv_or(self, _coerce(other, self.width))
+
+    def __xor__(self, other):
+        if self.is_bool:
+            return bool_xor(self, other)
+        return bv_xor(self, _coerce(other, self.width))
+
+    def __invert__(self):
+        if self.is_bool:
+            return bool_not(self)
+        return bv_not(self)
+
+    def __lshift__(self, other):
+        return bv_shl(self, _coerce(other, self.width))
+
+    def __rshift__(self, other):
+        return bv_lshr(self, _coerce(other, self.width))
+
+    def eq(self, other):
+        return bv_eq(self, _coerce(other, self.width))
+
+    def ne(self, other):
+        return bv_ne(self, _coerce(other, self.width))
+
+
+def _coerce(value, width: int) -> Expr:
+    if isinstance(value, Expr):
+        return value
+    return bv_const(value, width)
+
+
+def _mask(width: int) -> int:
+    return (1 << width) - 1
+
+
+# ----------------------------------------------------------------------------- #
+# Leaves
+# ----------------------------------------------------------------------------- #
+def bv_const(value: int, width: int) -> Expr:
+    """A bit-vector literal of the given width."""
+    if width <= 0:
+        raise ValueError("bit-vector width must be positive")
+    return Expr.make("bvconst", width=width, value=value & _mask(width))
+
+
+def bv_var(name: str, width: int) -> Expr:
+    """A free bit-vector variable."""
+    if width <= 0:
+        raise ValueError("bit-vector width must be positive")
+    return Expr.make("bvvar", width=width, name=name)
+
+
+def bool_const(value: bool) -> Expr:
+    return Expr.make("boolconst", value=1 if value else 0)
+
+
+def bool_var(name: str) -> Expr:
+    return Expr.make("boolvar", name=name)
+
+
+TRUE = bool_const(True)
+FALSE = bool_const(False)
+
+
+# ----------------------------------------------------------------------------- #
+# Bit-vector arithmetic
+# ----------------------------------------------------------------------------- #
+def _binop_const(a: Expr, b: Expr):
+    if a.op == "bvconst" and b.op == "bvconst":
+        return a.value, b.value
+    return None
+
+
+def bv_add(a: Expr, b: Expr) -> Expr:
+    _check_same_width(a, b)
+    consts = _binop_const(a, b)
+    if consts is not None:
+        return bv_const(consts[0] + consts[1], a.width)
+    if b.op == "bvconst" and b.value == 0:
+        return a
+    if a.op == "bvconst" and a.value == 0:
+        return b
+    # Normalize constant to the right for better structural sharing.
+    if a.op == "bvconst":
+        a, b = b, a
+    # (x + c1) + c2  ->  x + (c1 + c2)
+    if b.op == "bvconst" and a.op == "bvadd" and a.args[1].op == "bvconst":
+        return bv_add(a.args[0], bv_const(a.args[1].value + b.value, a.width))
+    return Expr.make("bvadd", (a, b), width=a.width)
+
+
+def bv_sub(a: Expr, b: Expr) -> Expr:
+    _check_same_width(a, b)
+    consts = _binop_const(a, b)
+    if consts is not None:
+        return bv_const(consts[0] - consts[1], a.width)
+    if b.op == "bvconst" and b.value == 0:
+        return a
+    if a == b:
+        return bv_const(0, a.width)
+    if b.op == "bvconst":
+        return bv_add(a, bv_const(-b.value, a.width))
+    return Expr.make("bvsub", (a, b), width=a.width)
+
+
+def bv_mul(a: Expr, b: Expr) -> Expr:
+    _check_same_width(a, b)
+    consts = _binop_const(a, b)
+    if consts is not None:
+        return bv_const(consts[0] * consts[1], a.width)
+    if a.op == "bvconst":
+        a, b = b, a
+    if b.op == "bvconst":
+        if b.value == 0:
+            return bv_const(0, a.width)
+        if b.value == 1:
+            return a
+        if b.value & (b.value - 1) == 0:  # power of two -> shift
+            return bv_shl(a, bv_const(b.value.bit_length() - 1, a.width))
+    return Expr.make("bvmul", (a, b), width=a.width)
+
+
+def bv_udiv(a: Expr, b: Expr) -> Expr:
+    _check_same_width(a, b)
+    consts = _binop_const(a, b)
+    if consts is not None:
+        # BPF semantics: division by zero yields zero.
+        return bv_const(0 if consts[1] == 0 else consts[0] // consts[1], a.width)
+    if b.op == "bvconst" and b.value == 1:
+        return a
+    if b.op == "bvconst" and b.value != 0 and b.value & (b.value - 1) == 0:
+        return bv_lshr(a, bv_const(b.value.bit_length() - 1, a.width))
+    return Expr.make("bvudiv", (a, b), width=a.width)
+
+
+def bv_urem(a: Expr, b: Expr) -> Expr:
+    _check_same_width(a, b)
+    consts = _binop_const(a, b)
+    if consts is not None:
+        # BPF semantics: modulo by zero leaves the dividend unchanged.
+        return bv_const(consts[0] if consts[1] == 0 else consts[0] % consts[1],
+                        a.width)
+    if b.op == "bvconst" and b.value != 0 and b.value & (b.value - 1) == 0:
+        return bv_and(a, bv_const(b.value - 1, a.width))
+    return Expr.make("bvurem", (a, b), width=a.width)
+
+
+def bv_neg(a: Expr) -> Expr:
+    if a.op == "bvconst":
+        return bv_const(-a.value, a.width)
+    return bv_sub(bv_const(0, a.width), a)
+
+
+# ----------------------------------------------------------------------------- #
+# Bit-vector logic
+# ----------------------------------------------------------------------------- #
+def bv_and(a: Expr, b: Expr) -> Expr:
+    _check_same_width(a, b)
+    consts = _binop_const(a, b)
+    if consts is not None:
+        return bv_const(consts[0] & consts[1], a.width)
+    if a.op == "bvconst":
+        a, b = b, a
+    if b.op == "bvconst":
+        if b.value == 0:
+            return bv_const(0, a.width)
+        if b.value == _mask(a.width):
+            return a
+    if a == b:
+        return a
+    return Expr.make("bvand", (a, b), width=a.width)
+
+
+def bv_or(a: Expr, b: Expr) -> Expr:
+    _check_same_width(a, b)
+    consts = _binop_const(a, b)
+    if consts is not None:
+        return bv_const(consts[0] | consts[1], a.width)
+    if a.op == "bvconst":
+        a, b = b, a
+    if b.op == "bvconst":
+        if b.value == 0:
+            return a
+        if b.value == _mask(a.width):
+            return bv_const(_mask(a.width), a.width)
+    if a == b:
+        return a
+    return Expr.make("bvor", (a, b), width=a.width)
+
+
+def bv_xor(a: Expr, b: Expr) -> Expr:
+    _check_same_width(a, b)
+    consts = _binop_const(a, b)
+    if consts is not None:
+        return bv_const(consts[0] ^ consts[1], a.width)
+    if a.op == "bvconst":
+        a, b = b, a
+    if b.op == "bvconst" and b.value == 0:
+        return a
+    if a == b:
+        return bv_const(0, a.width)
+    return Expr.make("bvxor", (a, b), width=a.width)
+
+
+def bv_not(a: Expr) -> Expr:
+    if a.op == "bvconst":
+        return bv_const(~a.value, a.width)
+    if a.op == "bvnot":
+        return a.args[0]
+    return Expr.make("bvnot", (a,), width=a.width)
+
+
+# ----------------------------------------------------------------------------- #
+# Shifts
+# ----------------------------------------------------------------------------- #
+def bv_shl(a: Expr, b: Expr) -> Expr:
+    _check_same_width(a, b)
+    if b.op == "bvconst":
+        shift = b.value % a.width if b.value >= a.width else b.value
+        if a.op == "bvconst":
+            return bv_const(a.value << shift, a.width)
+        if shift == 0:
+            return a
+    return Expr.make("bvshl", (a, b), width=a.width)
+
+
+def bv_lshr(a: Expr, b: Expr) -> Expr:
+    _check_same_width(a, b)
+    if b.op == "bvconst":
+        shift = b.value % a.width if b.value >= a.width else b.value
+        if a.op == "bvconst":
+            return bv_const(a.value >> shift, a.width)
+        if shift == 0:
+            return a
+    return Expr.make("bvlshr", (a, b), width=a.width)
+
+
+def bv_ashr(a: Expr, b: Expr) -> Expr:
+    _check_same_width(a, b)
+    if b.op == "bvconst":
+        shift = b.value % a.width if b.value >= a.width else b.value
+        if a.op == "bvconst":
+            signed = a.value - (1 << a.width) if a.value >> (a.width - 1) else a.value
+            return bv_const(signed >> shift, a.width)
+        if shift == 0:
+            return a
+    return Expr.make("bvashr", (a, b), width=a.width)
+
+
+# ----------------------------------------------------------------------------- #
+# Structure: concat / extract / extension / ite
+# ----------------------------------------------------------------------------- #
+def bv_concat(high: Expr, low: Expr) -> Expr:
+    """Concatenate; ``high`` occupies the most significant bits."""
+    if high.op == "bvconst" and low.op == "bvconst":
+        return bv_const((high.value << low.width) | low.value,
+                        high.width + low.width)
+    return Expr.make("bvconcat", (high, low), width=high.width + low.width)
+
+
+def bv_extract(a: Expr, hi: int, lo: int) -> Expr:
+    """Bits ``hi..lo`` (inclusive) of ``a``."""
+    if not (0 <= lo <= hi < a.width):
+        raise ValueError(f"bad extract range [{hi}:{lo}] for width {a.width}")
+    width = hi - lo + 1
+    if width == a.width:
+        return a
+    if a.op == "bvconst":
+        return bv_const(a.value >> lo, width)
+    if a.op == "bvconcat":
+        high, low = a.args
+        if hi < low.width:
+            return bv_extract(low, hi, lo)
+        if lo >= low.width:
+            return bv_extract(high, hi - low.width, lo - low.width)
+    if a.op == "bvzext" and hi < a.args[0].width:
+        return bv_extract(a.args[0], hi, lo)
+    if a.op == "bvzext" and lo >= a.args[0].width:
+        return bv_const(0, width)
+    return Expr.make("bvextract", (a,), width=width, value=(hi << 16) | lo)
+
+
+def _extract_bounds(expr: Expr) -> tuple[int, int]:
+    hi = expr.value >> 16
+    lo = expr.value & 0xFFFF
+    return hi, lo
+
+
+def bv_zero_extend(a: Expr, extra_bits: int) -> Expr:
+    if extra_bits == 0:
+        return a
+    if a.op == "bvconst":
+        return bv_const(a.value, a.width + extra_bits)
+    return Expr.make("bvzext", (a,), width=a.width + extra_bits)
+
+
+def bv_sign_extend(a: Expr, extra_bits: int) -> Expr:
+    if extra_bits == 0:
+        return a
+    if a.op == "bvconst":
+        signed = a.value - (1 << a.width) if a.value >> (a.width - 1) else a.value
+        return bv_const(signed, a.width + extra_bits)
+    return Expr.make("bvsext", (a,), width=a.width + extra_bits)
+
+
+def bv_ite(cond: Expr, then: Expr, otherwise: Expr) -> Expr:
+    _check_same_width(then, otherwise)
+    if cond.op == "boolconst":
+        return then if cond.value else otherwise
+    if then == otherwise:
+        return then
+    return Expr.make("bvite", (cond, then, otherwise), width=then.width)
+
+
+# ----------------------------------------------------------------------------- #
+# Predicates
+# ----------------------------------------------------------------------------- #
+def bv_eq(a: Expr, b: Expr) -> Expr:
+    _check_same_width(a, b)
+    if a == b:
+        return TRUE
+    consts = _binop_const(a, b)
+    if consts is not None:
+        return bool_const(consts[0] == consts[1])
+    if a.op == "bvconst":
+        a, b = b, a
+    return Expr.make("bveq", (a, b))
+
+
+def bv_ne(a: Expr, b: Expr) -> Expr:
+    return bool_not(bv_eq(a, b))
+
+
+def bv_ult(a: Expr, b: Expr) -> Expr:
+    _check_same_width(a, b)
+    consts = _binop_const(a, b)
+    if consts is not None:
+        return bool_const(consts[0] < consts[1])
+    if a == b:
+        return FALSE
+    if b.op == "bvconst" and b.value == 0:
+        return FALSE
+    return Expr.make("bvult", (a, b))
+
+
+def bv_ule(a: Expr, b: Expr) -> Expr:
+    _check_same_width(a, b)
+    consts = _binop_const(a, b)
+    if consts is not None:
+        return bool_const(consts[0] <= consts[1])
+    if a == b:
+        return TRUE
+    return Expr.make("bvule", (a, b))
+
+
+def bv_ugt(a: Expr, b: Expr) -> Expr:
+    return bv_ult(b, a)
+
+
+def bv_uge(a: Expr, b: Expr) -> Expr:
+    return bv_ule(b, a)
+
+
+def _signed(value: int, width: int) -> int:
+    return value - (1 << width) if value >> (width - 1) else value
+
+
+def bv_slt(a: Expr, b: Expr) -> Expr:
+    _check_same_width(a, b)
+    consts = _binop_const(a, b)
+    if consts is not None:
+        return bool_const(_signed(consts[0], a.width) < _signed(consts[1], b.width))
+    if a == b:
+        return FALSE
+    return Expr.make("bvslt", (a, b))
+
+
+def bv_sle(a: Expr, b: Expr) -> Expr:
+    _check_same_width(a, b)
+    consts = _binop_const(a, b)
+    if consts is not None:
+        return bool_const(_signed(consts[0], a.width) <= _signed(consts[1], b.width))
+    if a == b:
+        return TRUE
+    return Expr.make("bvsle", (a, b))
+
+
+def bv_sgt(a: Expr, b: Expr) -> Expr:
+    return bv_slt(b, a)
+
+
+def bv_sge(a: Expr, b: Expr) -> Expr:
+    return bv_sle(b, a)
+
+
+# ----------------------------------------------------------------------------- #
+# Boolean connectives
+# ----------------------------------------------------------------------------- #
+def bool_and(*args: Expr) -> Expr:
+    flat = []
+    for arg in args:
+        if arg.op == "booland":
+            flat.extend(arg.args)
+        else:
+            flat.append(arg)
+    result = []
+    for arg in flat:
+        if arg.op == "boolconst":
+            if not arg.value:
+                return FALSE
+            continue
+        if arg not in result:
+            result.append(arg)
+    if not result:
+        return TRUE
+    if len(result) == 1:
+        return result[0]
+    return Expr.make("booland", tuple(result))
+
+
+def bool_or(*args: Expr) -> Expr:
+    flat = []
+    for arg in args:
+        if arg.op == "boolor":
+            flat.extend(arg.args)
+        else:
+            flat.append(arg)
+    result = []
+    for arg in flat:
+        if arg.op == "boolconst":
+            if arg.value:
+                return TRUE
+            continue
+        if arg not in result:
+            result.append(arg)
+    if not result:
+        return FALSE
+    if len(result) == 1:
+        return result[0]
+    return Expr.make("boolor", tuple(result))
+
+
+def bool_not(a: Expr) -> Expr:
+    if a.op == "boolconst":
+        return bool_const(not a.value)
+    if a.op == "boolnot":
+        return a.args[0]
+    return Expr.make("boolnot", (a,))
+
+
+def bool_implies(a: Expr, b: Expr) -> Expr:
+    return bool_or(bool_not(a), b)
+
+
+def bool_xor(a: Expr, b: Expr) -> Expr:
+    if a.op == "boolconst":
+        return b if a.value == 0 else bool_not(b)
+    if b.op == "boolconst":
+        return a if b.value == 0 else bool_not(a)
+    if a == b:
+        return FALSE
+    return Expr.make("boolxor", (a, b))
+
+
+def bool_ite(cond: Expr, then: Expr, otherwise: Expr) -> Expr:
+    if cond.op == "boolconst":
+        return then if cond.value else otherwise
+    if then == otherwise:
+        return then
+    return bool_or(bool_and(cond, then), bool_and(bool_not(cond), otherwise))
+
+
+# ----------------------------------------------------------------------------- #
+def _check_same_width(a: Expr, b: Expr) -> None:
+    if a.width != b.width:
+        raise ValueError(f"width mismatch: {a.width} vs {b.width} "
+                         f"({a!r} vs {b!r})")

@@ -1,0 +1,54 @@
+"""CNF formula container used between the bit-blaster and the SAT solver.
+
+Literals use the DIMACS convention: variables are positive integers, a
+negative integer denotes the negation of the corresponding variable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["CNF"]
+
+
+class CNF:
+    """A clause database plus a variable allocator."""
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        self.clauses: List[List[int]] = []
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable and return its (positive) index."""
+        self.num_vars += 1
+        return self.num_vars
+
+    def add_clause(self, literals: Sequence[int]) -> None:
+        """Add one clause (a disjunction of literals)."""
+        clause = []
+        seen = set()
+        for lit in literals:
+            if lit == 0:
+                raise ValueError("0 is not a valid literal")
+            if abs(lit) > self.num_vars:
+                raise ValueError(f"literal {lit} references an unallocated variable")
+            if -lit in seen:
+                return  # tautology, skip
+            if lit not in seen:
+                seen.add(lit)
+                clause.append(lit)
+        self.clauses.append(clause)
+
+    def add_clauses(self, clauses: Iterable[Sequence[int]]) -> None:
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def __len__(self) -> int:
+        return len(self.clauses)
+
+    def to_dimacs(self) -> str:
+        """Render the formula in DIMACS format (useful for debugging)."""
+        lines = [f"p cnf {self.num_vars} {len(self.clauses)}"]
+        for clause in self.clauses:
+            lines.append(" ".join(map(str, clause)) + " 0")
+        return "\n".join(lines)

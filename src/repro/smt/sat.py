@@ -1,0 +1,318 @@
+"""A CDCL SAT solver.
+
+This is the decision procedure underneath the bit-vector solver, standing in
+for Z3's SAT core.  It implements the standard conflict-driven clause
+learning loop:
+
+* unit propagation with two watched literals,
+* first-UIP conflict analysis with clause learning and non-chronological
+  backjumping,
+* VSIDS-style variable activities with exponential decay,
+* Luby-sequence restarts,
+* phase saving.
+
+The implementation favours clarity over raw speed; the word-level
+simplifications and the domain-specific concretizations in
+:mod:`repro.equivalence` keep the CNF instances small enough that this is
+sufficient for the programs in the benchmark corpus.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .cnf import CNF
+
+__all__ = ["SatSolver", "SatResult"]
+
+
+class SatResult:
+    """Outcome of a satisfiability check."""
+
+    def __init__(self, satisfiable: bool, model: Optional[Dict[int, bool]] = None,
+                 conflicts: int = 0, decisions: int = 0):
+        self.satisfiable = satisfiable
+        self.model = model or {}
+        self.conflicts = conflicts
+        self.decisions = decisions
+
+    def __bool__(self) -> bool:
+        return self.satisfiable
+
+    def __repr__(self) -> str:
+        return (f"SatResult(sat={self.satisfiable}, conflicts={self.conflicts}, "
+                f"decisions={self.decisions})")
+
+
+def _luby(index: int) -> int:
+    """The Luby restart sequence (0-based): 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ..."""
+    size, seq = 1, 0
+    while size < index + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != index:
+        size = (size - 1) // 2
+        seq -= 1
+        index %= size
+    return 1 << seq
+
+
+class SatSolver:
+    """CDCL solver over a :class:`CNF` formula."""
+
+    def __init__(self, cnf: CNF, max_conflicts: Optional[int] = None):
+        self.num_vars = cnf.num_vars
+        self.max_conflicts = max_conflicts
+        # value[v] is None (unassigned), True or False.
+        self.value: List[Optional[bool]] = [None] * (self.num_vars + 1)
+        self.level: List[int] = [0] * (self.num_vars + 1)
+        self.reason: List[Optional[List[int]]] = [None] * (self.num_vars + 1)
+        self.activity: List[float] = [0.0] * (self.num_vars + 1)
+        self.phase: List[bool] = [False] * (self.num_vars + 1)
+        self.var_inc = 1.0
+        self.var_decay = 0.95
+        self.trail: List[int] = []
+        self.trail_lim: List[int] = []
+        self.propagate_head = 0
+        self.clauses: List[List[int]] = []
+        self.learned: List[List[int]] = []
+        # watches[lit] is a list of clauses currently watching lit.
+        self.watches: Dict[int, List[List[int]]] = {}
+        self.conflicts = 0
+        self.decisions = 0
+        self._contradiction = False
+        for clause in cnf.clauses:
+            self._add_clause(list(clause), learned=False)
+        # Seed the branching activities with literal occurrence counts so the
+        # first decisions target heavily-constrained variables.
+        for clause in cnf.clauses:
+            for lit in clause:
+                self.activity[abs(lit)] += 1.0 / max(1, len(clause))
+
+    # ------------------------------------------------------------------ #
+    # Clause management
+    # ------------------------------------------------------------------ #
+    def _add_clause(self, clause: List[int], learned: bool) -> None:
+        if not clause:
+            self._contradiction = True
+            return
+        if len(clause) == 1:
+            if not self._enqueue(clause[0], None):
+                self._contradiction = True
+            return
+        if learned:
+            self.learned.append(clause)
+        else:
+            self.clauses.append(clause)
+        self._watch(clause[0], clause)
+        self._watch(clause[1], clause)
+
+    def _watch(self, lit: int, clause: List[int]) -> None:
+        self.watches.setdefault(lit, []).append(clause)
+
+    # ------------------------------------------------------------------ #
+    # Assignment handling
+    # ------------------------------------------------------------------ #
+    def _lit_value(self, lit: int) -> Optional[bool]:
+        value = self.value[abs(lit)]
+        if value is None:
+            return None
+        return value if lit > 0 else not value
+
+    def _enqueue(self, lit: int, reason: Optional[List[int]]) -> bool:
+        current = self._lit_value(lit)
+        if current is not None:
+            return current
+        var = abs(lit)
+        self.value[var] = lit > 0
+        self.phase[var] = lit > 0
+        self.level[var] = len(self.trail_lim)
+        self.reason[var] = reason
+        self.trail.append(lit)
+        return True
+
+    def _decision_level(self) -> int:
+        return len(self.trail_lim)
+
+    # ------------------------------------------------------------------ #
+    # Unit propagation (two watched literals)
+    # ------------------------------------------------------------------ #
+    def _propagate(self) -> Optional[List[int]]:
+        while self.propagate_head < len(self.trail):
+            lit = self.trail[self.propagate_head]
+            self.propagate_head += 1
+            false_lit = -lit
+            watching = self.watches.get(false_lit, [])
+            new_watching: List[List[int]] = []
+            index = 0
+            conflict = None
+            while index < len(watching):
+                clause = watching[index]
+                index += 1
+                # Ensure the false literal is in position 1.
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._lit_value(first) is True:
+                    new_watching.append(clause)
+                    continue
+                # Look for a replacement watch.
+                found = False
+                for position in range(2, len(clause)):
+                    candidate = clause[position]
+                    if self._lit_value(candidate) is not False:
+                        clause[1], clause[position] = clause[position], clause[1]
+                        self._watch(clause[1], clause)
+                        found = True
+                        break
+                if found:
+                    continue
+                # Clause is unit or conflicting.
+                new_watching.append(clause)
+                if self._lit_value(first) is False:
+                    # Conflict: keep remaining watches and report.
+                    new_watching.extend(watching[index:])
+                    conflict = clause
+                    break
+                self._enqueue(first, clause)
+            self.watches[false_lit] = new_watching
+            if conflict is not None:
+                return conflict
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Conflict analysis (first UIP)
+    # ------------------------------------------------------------------ #
+    def _bump(self, var: int) -> None:
+        self.activity[var] += self.var_inc
+        if self.activity[var] > 1e100:
+            for index in range(1, self.num_vars + 1):
+                self.activity[index] *= 1e-100
+            self.var_inc *= 1e-100
+
+    def _analyze(self, conflict: List[int]) -> tuple[List[int], int]:
+        learnt: List[int] = []
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        lit = None
+        clause = conflict
+        trail_index = len(self.trail) - 1
+        current_level = self._decision_level()
+
+        while True:
+            for other in clause:
+                # Skip the literal we are resolving on (the implied literal
+                # of the reason clause).
+                if lit is not None and other == lit:
+                    continue
+                var = abs(other)
+                if not seen[var] and self.level[var] > 0:
+                    seen[var] = True
+                    self._bump(var)
+                    if self.level[var] >= current_level:
+                        counter += 1
+                    else:
+                        learnt.append(other)
+            # Pick the next literal to resolve on from the trail.
+            while not seen[abs(self.trail[trail_index])]:
+                trail_index -= 1
+            lit = self.trail[trail_index]
+            trail_index -= 1
+            var = abs(lit)
+            seen[var] = False
+            counter -= 1
+            if counter == 0:
+                learnt.insert(0, -lit)
+                break
+            clause = self.reason[var] or []
+
+        if len(learnt) == 1:
+            backjump_level = 0
+        else:
+            backjump_level = max(self.level[abs(l)] for l in learnt[1:])
+            # Move the literal with the backjump level to position 1.
+            for position in range(1, len(learnt)):
+                if self.level[abs(learnt[position])] == backjump_level:
+                    learnt[1], learnt[position] = learnt[position], learnt[1]
+                    break
+        return learnt, backjump_level
+
+    def _backjump(self, target_level: int) -> None:
+        while self._decision_level() > target_level:
+            boundary = self.trail_lim.pop()
+            for lit in reversed(self.trail[boundary:]):
+                var = abs(lit)
+                self.value[var] = None
+                self.reason[var] = None
+            del self.trail[boundary:]
+        self.propagate_head = min(self.propagate_head, len(self.trail))
+
+    # ------------------------------------------------------------------ #
+    # Decisions
+    # ------------------------------------------------------------------ #
+    def _pick_branch_variable(self) -> Optional[int]:
+        best_var = None
+        best_activity = -1.0
+        for var in range(1, self.num_vars + 1):
+            if self.value[var] is None and self.activity[var] > best_activity:
+                best_var = var
+                best_activity = self.activity[var]
+        return best_var
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+    def solve(self) -> SatResult:
+        if self._contradiction:
+            return SatResult(False, conflicts=self.conflicts,
+                             decisions=self.decisions)
+        conflict = self._propagate()
+        if conflict is not None:
+            return SatResult(False, conflicts=self.conflicts,
+                             decisions=self.decisions)
+
+        restart_count = 0
+        conflicts_until_restart = _luby(restart_count) * 128
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                if self.max_conflicts is not None and self.conflicts > self.max_conflicts:
+                    raise TimeoutError(
+                        f"SAT solver exceeded {self.max_conflicts} conflicts")
+                if self._decision_level() == 0:
+                    return SatResult(False, conflicts=self.conflicts,
+                                     decisions=self.decisions)
+                learnt, backjump_level = self._analyze(conflict)
+                self._backjump(backjump_level)
+                if len(learnt) == 1:
+                    self._enqueue(learnt[0], None)
+                else:
+                    self.learned.append(learnt)
+                    self._watch(learnt[0], learnt)
+                    self._watch(learnt[1], learnt)
+                    self._enqueue(learnt[0], learnt)
+                self.var_inc /= self.var_decay
+                conflicts_until_restart -= 1
+                if conflicts_until_restart <= 0:
+                    restart_count += 1
+                    conflicts_until_restart = _luby(restart_count) * 128
+                    self._backjump(0)
+                continue
+
+            variable = self._pick_branch_variable()
+            if variable is None:
+                model = {var: bool(self.value[var])
+                         for var in range(1, self.num_vars + 1)}
+                return SatResult(True, model=model, conflicts=self.conflicts,
+                                 decisions=self.decisions)
+            self.decisions += 1
+            self.trail_lim.append(len(self.trail))
+            polarity = self.phase[variable]
+            self._enqueue(variable if polarity else -variable, None)
+
+
+def solve_cnf(cnf: CNF, max_conflicts: Optional[int] = None) -> SatResult:
+    """Convenience wrapper: solve a CNF formula from scratch."""
+    return SatSolver(cnf, max_conflicts=max_conflicts).solve()

@@ -1,0 +1,193 @@
+"""Expression utilities: evaluation, substitution, variable collection.
+
+The constructors in :mod:`repro.smt.bitvec` already perform eager
+simplification; this module adds the supporting operations the rest of the
+system needs:
+
+* :func:`evaluate` — interpret an expression under a concrete assignment
+  (used to validate SAT models and to differential-test the bit-blaster),
+* :func:`substitute` — replace variables by expressions,
+* :func:`collect_vars` — the free variables of an expression.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set, Union
+
+from .bitvec import (
+    Expr, bool_and, bool_const, bool_not, bool_or, bool_xor, bv_add, bv_and,
+    bv_ashr, bv_concat, bv_const, bv_eq, bv_extract, bv_ite, bv_lshr, bv_mul,
+    bv_not, bv_or, bv_shl, bv_sign_extend, bv_sle, bv_slt, bv_sub, bv_udiv,
+    bv_ule, bv_ult, bv_urem, bv_xor, bv_zero_extend,
+)
+
+__all__ = ["evaluate", "substitute", "collect_vars"]
+
+Assignment = Dict[str, int]
+
+
+def _signed(value: int, width: int) -> int:
+    return value - (1 << width) if value >> (width - 1) else value
+
+
+def evaluate(expr: Expr, assignment: Assignment) -> Union[int, bool]:
+    """Evaluate ``expr`` under ``assignment`` (variable name -> value).
+
+    Missing variables default to zero / False, matching how the solver treats
+    don't-care variables in extracted models.
+    """
+    cache: Dict[Expr, Union[int, bool]] = {}
+
+    def walk(node: Expr) -> Union[int, bool]:
+        if node in cache:
+            return cache[node]
+        op = node.op
+        args = node.args
+        if op == "bvconst":
+            result: Union[int, bool] = node.value
+        elif op == "bvvar":
+            result = assignment.get(node.name, 0) & ((1 << node.width) - 1)
+        elif op == "boolconst":
+            result = bool(node.value)
+        elif op == "boolvar":
+            result = bool(assignment.get(node.name, 0))
+        elif op == "bvadd":
+            result = (walk(args[0]) + walk(args[1])) & ((1 << node.width) - 1)
+        elif op == "bvsub":
+            result = (walk(args[0]) - walk(args[1])) & ((1 << node.width) - 1)
+        elif op == "bvmul":
+            result = (walk(args[0]) * walk(args[1])) & ((1 << node.width) - 1)
+        elif op == "bvudiv":
+            a, b = walk(args[0]), walk(args[1])
+            result = 0 if b == 0 else a // b
+        elif op == "bvurem":
+            a, b = walk(args[0]), walk(args[1])
+            result = a if b == 0 else a % b
+        elif op == "bvand":
+            result = walk(args[0]) & walk(args[1])
+        elif op == "bvor":
+            result = walk(args[0]) | walk(args[1])
+        elif op == "bvxor":
+            result = walk(args[0]) ^ walk(args[1])
+        elif op == "bvnot":
+            result = ~walk(args[0]) & ((1 << node.width) - 1)
+        elif op == "bvshl":
+            a, b = walk(args[0]), walk(args[1])
+            result = 0 if b >= node.width else (a << b) & ((1 << node.width) - 1)
+        elif op == "bvlshr":
+            a, b = walk(args[0]), walk(args[1])
+            result = 0 if b >= node.width else a >> b
+        elif op == "bvashr":
+            a, b = walk(args[0]), walk(args[1])
+            signed = _signed(a, node.width)
+            shift = min(b, node.width - 1) if b >= node.width else b
+            result = (signed >> shift) & ((1 << node.width) - 1)
+        elif op == "bvconcat":
+            high, low = args
+            result = (walk(high) << low.width) | walk(low)
+        elif op == "bvextract":
+            hi = node.value >> 16
+            lo = node.value & 0xFFFF
+            result = (walk(args[0]) >> lo) & ((1 << (hi - lo + 1)) - 1)
+        elif op == "bvzext":
+            result = walk(args[0])
+        elif op == "bvsext":
+            inner = args[0]
+            result = _signed(walk(inner), inner.width) & ((1 << node.width) - 1)
+        elif op == "bvite":
+            result = walk(args[1]) if walk(args[0]) else walk(args[2])
+        elif op == "bveq":
+            result = walk(args[0]) == walk(args[1])
+        elif op == "bvult":
+            result = walk(args[0]) < walk(args[1])
+        elif op == "bvule":
+            result = walk(args[0]) <= walk(args[1])
+        elif op == "bvslt":
+            result = _signed(walk(args[0]), args[0].width) < _signed(walk(args[1]), args[1].width)
+        elif op == "bvsle":
+            result = _signed(walk(args[0]), args[0].width) <= _signed(walk(args[1]), args[1].width)
+        elif op == "booland":
+            result = all(walk(arg) for arg in args)
+        elif op == "boolor":
+            result = any(walk(arg) for arg in args)
+        elif op == "boolnot":
+            result = not walk(args[0])
+        elif op == "boolxor":
+            result = bool(walk(args[0])) != bool(walk(args[1]))
+        else:
+            raise ValueError(f"cannot evaluate op {op!r}")
+        cache[node] = result
+        return result
+
+    return walk(expr)
+
+
+_REBUILDERS = {
+    "bvadd": bv_add, "bvsub": bv_sub, "bvmul": bv_mul, "bvudiv": bv_udiv,
+    "bvurem": bv_urem, "bvand": bv_and, "bvor": bv_or, "bvxor": bv_xor,
+    "bvshl": bv_shl, "bvlshr": bv_lshr, "bvashr": bv_ashr,
+    "bvconcat": bv_concat, "bveq": bv_eq, "bvult": bv_ult, "bvule": bv_ule,
+    "bvslt": bv_slt, "bvsle": bv_sle, "boolxor": bool_xor,
+}
+
+
+def substitute(expr: Expr, mapping: Dict[Expr, Expr]) -> Expr:
+    """Replace occurrences of the keys of ``mapping`` (typically variables)."""
+    cache: Dict[Expr, Expr] = {}
+
+    def walk(node: Expr) -> Expr:
+        if node in mapping:
+            return mapping[node]
+        if node in cache:
+            return cache[node]
+        if not node.args:
+            return node
+        new_args = tuple(walk(arg) for arg in node.args)
+        if new_args == node.args:
+            result = node
+        else:
+            op = node.op
+            if op in _REBUILDERS:
+                result = _REBUILDERS[op](*new_args)
+            elif op == "bvnot":
+                result = bv_not(new_args[0])
+            elif op == "bvextract":
+                hi = node.value >> 16
+                lo = node.value & 0xFFFF
+                result = bv_extract(new_args[0], hi, lo)
+            elif op == "bvzext":
+                result = bv_zero_extend(new_args[0], node.width - new_args[0].width)
+            elif op == "bvsext":
+                result = bv_sign_extend(new_args[0], node.width - new_args[0].width)
+            elif op == "bvite":
+                result = bv_ite(*new_args)
+            elif op == "booland":
+                result = bool_and(*new_args)
+            elif op == "boolor":
+                result = bool_or(*new_args)
+            elif op == "boolnot":
+                result = bool_not(new_args[0])
+            else:
+                raise ValueError(f"cannot substitute inside op {node.op!r}")
+        cache[node] = result
+        return result
+
+    return walk(expr)
+
+
+def collect_vars(exprs: Union[Expr, Iterable[Expr]]) -> Set[Expr]:
+    """Return the set of free variables occurring in the expression(s)."""
+    if isinstance(exprs, Expr):
+        exprs = [exprs]
+    seen: Set[Expr] = set()
+    variables: Set[Expr] = set()
+    stack = list(exprs)
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        if node.is_var:
+            variables.add(node)
+        stack.extend(node.args)
+    return variables

@@ -1,0 +1,169 @@
+"""Solver facade: the reproduction's replacement for the Z3 API surface K2 uses.
+
+Typical usage::
+
+    solver = Solver()
+    solver.add(bv_eq(x, y))
+    solver.add(bv_ult(x, bv_const(10, 64)))
+    if solver.check() == CheckResult.SAT:
+        model = solver.model()
+        print(model[x])
+
+The solver applies three layers before touching the SAT core:
+
+1. eager word-level simplification (performed by the expression constructors),
+2. a trivial-decision pass (assertions that simplified to ``true``/``false``),
+3. Tseitin bit-blasting followed by CDCL search.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from typing import Dict, List, Optional
+
+from .bitblast import BitBlaster
+from .bitvec import Expr, FALSE, TRUE, bool_and
+from .cnf import CNF
+from .sat import SatSolver
+from .simplify import collect_vars, evaluate
+
+__all__ = ["CheckResult", "Model", "Solver", "SolverStats"]
+
+
+class CheckResult(enum.Enum):
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+
+class Model:
+    """A satisfying assignment, addressable by variable expression or name."""
+
+    def __init__(self, values: Dict[str, int]):
+        self._values = values
+
+    def __getitem__(self, key) -> int:
+        name = key.name if isinstance(key, Expr) else key
+        return self._values.get(name, 0)
+
+    def get(self, key, default: int = 0) -> int:
+        name = key.name if isinstance(key, Expr) else key
+        return self._values.get(name, default)
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self._values)
+
+    def evaluate(self, expr: Expr):
+        """Evaluate an arbitrary expression under this model."""
+        return evaluate(expr, self._values)
+
+    def __repr__(self) -> str:
+        return f"Model({self._values!r})"
+
+
+class SolverStats:
+    """Bookkeeping for the equivalence-checking benchmarks (Table 4 / 6)."""
+
+    def __init__(self) -> None:
+        self.num_checks = 0
+        self.num_sat = 0
+        self.num_unsat = 0
+        self.num_trivial = 0
+        self.total_time = 0.0
+        self.num_clauses = 0
+        self.num_variables = 0
+
+    def __repr__(self) -> str:
+        return (f"SolverStats(checks={self.num_checks}, trivial={self.num_trivial}, "
+                f"sat={self.num_sat}, unsat={self.num_unsat}, "
+                f"time={self.total_time:.3f}s)")
+
+
+class Solver:
+    """Check satisfiability of conjunctions of boolean bit-vector formulas."""
+
+    def __init__(self, max_conflicts: Optional[int] = 2_000_000):
+        self._assertions: List[Expr] = []
+        self._model: Optional[Model] = None
+        self._max_conflicts = max_conflicts
+        self.stats = SolverStats()
+
+    # ------------------------------------------------------------------ #
+    def add(self, expr: Expr) -> None:
+        """Assert a boolean expression."""
+        if not expr.is_bool:
+            raise ValueError("assertions must be boolean expressions")
+        self._assertions.append(expr)
+
+    def push(self) -> int:
+        """Return a checkpoint token for :meth:`pop`."""
+        return len(self._assertions)
+
+    def pop(self, token: int) -> None:
+        del self._assertions[token:]
+
+    def reset(self) -> None:
+        self._assertions.clear()
+        self._model = None
+
+    @property
+    def assertions(self) -> List[Expr]:
+        return list(self._assertions)
+
+    # ------------------------------------------------------------------ #
+    def check(self) -> CheckResult:
+        """Decide satisfiability of the conjunction of the assertions."""
+        started = time.perf_counter()
+        self.stats.num_checks += 1
+        self._model = None
+
+        combined = bool_and(*self._assertions) if self._assertions else TRUE
+        if combined == FALSE:
+            self.stats.num_trivial += 1
+            self.stats.num_unsat += 1
+            self.stats.total_time += time.perf_counter() - started
+            return CheckResult.UNSAT
+        if combined == TRUE:
+            self.stats.num_trivial += 1
+            self.stats.num_sat += 1
+            self._model = Model({})
+            self.stats.total_time += time.perf_counter() - started
+            return CheckResult.SAT
+
+        cnf = CNF()
+        blaster = BitBlaster(cnf)
+        blaster.assert_expr(combined)
+        self.stats.num_clauses += len(cnf.clauses)
+        self.stats.num_variables += cnf.num_vars
+
+        try:
+            result = SatSolver(cnf, max_conflicts=self._max_conflicts).solve()
+        except TimeoutError:
+            self.stats.total_time += time.perf_counter() - started
+            return CheckResult.UNKNOWN
+
+        if result.satisfiable:
+            values: Dict[str, int] = {}
+            for variable in collect_vars(combined):
+                if variable.op == "bvvar":
+                    values[variable.name] = blaster.extract_value(
+                        variable.name, result.model)
+                else:
+                    lit = blaster.bool_vars.get(variable.name)
+                    values[variable.name] = int(result.model.get(lit, False)) \
+                        if lit is not None else 0
+            self._model = Model(values)
+            self.stats.num_sat += 1
+            self.stats.total_time += time.perf_counter() - started
+            return CheckResult.SAT
+
+        self.stats.num_unsat += 1
+        self.stats.total_time += time.perf_counter() - started
+        return CheckResult.UNSAT
+
+    def model(self) -> Model:
+        """The model found by the last :meth:`check` (SAT results only)."""
+        if self._model is None:
+            raise RuntimeError("no model available; call check() first")
+        return self._model

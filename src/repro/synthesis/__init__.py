@@ -1,0 +1,16 @@
+"""Stochastic program synthesis for BPF (paper section 3)."""
+
+from .cost import (
+    CostSettings, DiffKind, NumTestsVariant, PerformanceGoal, ERR_MAX,
+    error_cost, output_distance, performance_cost, total_cost,
+)
+from .proposals import OperandPools, ProposalGenerator, RewriteRuleProbabilities
+from .testcases import TestCaseGenerator, TestSuite
+from .params import (
+    ParameterSetting, TABLE8_SETTINGS, all_parameter_settings,
+    best_parameter_settings,
+)
+from .mcmc import ChainResult, ChainStatistics, MarkovChain, VerifiedCandidate
+from .search import SearchOptions, SearchResult, Synthesizer
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,248 @@
+"""The Metropolis-Hastings search over BPF programs (paper §3).
+
+One :class:`MarkovChain` runs the loop of Fig. 1: propose a rewrite (§3.1),
+evaluate its cost (§3.2) using the test suite, the safety checker and — when
+every test passes — the formal equivalence checker, then accept or reject the
+proposal (§3.3).  Equivalence and safety counterexamples feed back into the
+test suite so similar candidates are pruned without further solver calls.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+import time
+from typing import List, Optional
+
+from ..bpf.program import BpfProgram
+from ..equivalence import (
+    EquivalenceCache, EquivalenceChecker, EquivalenceOptions,
+    EquivalenceResult, Window, WindowEquivalenceChecker,
+)
+from ..perf.latency_model import DEFAULT_LATENCY_MODEL, OpcodeLatencyModel
+from ..safety import SafetyChecker
+from .cost import (
+    CostSettings, ERR_MAX, error_cost, performance_cost, total_cost,
+)
+from .proposals import ProposalGenerator, RewriteRuleProbabilities
+from .testcases import TestSuite
+
+__all__ = ["ChainStatistics", "VerifiedCandidate", "ChainResult", "MarkovChain"]
+
+
+@dataclasses.dataclass
+class ChainStatistics:
+    """Counters describing one chain's run (feed Tables 1, 6 and 9)."""
+
+    iterations: int = 0
+    proposals_accepted: int = 0
+    proposals_unsafe: int = 0
+    test_failures: int = 0
+    equivalence_checks: int = 0
+    equivalence_cache_hits: int = 0
+    counterexamples_added: int = 0
+    verified_candidates: int = 0
+    best_found_at_iteration: Optional[int] = None
+    best_found_at_seconds: Optional[float] = None
+    elapsed_seconds: float = 0.0
+
+
+@dataclasses.dataclass
+class VerifiedCandidate:
+    """A safe candidate formally proven equivalent to the source program."""
+
+    program: BpfProgram
+    perf_cost: float
+    instruction_count: int
+    estimated_latency: float
+    found_at_iteration: int
+    found_at_seconds: float
+
+
+@dataclasses.dataclass
+class ChainResult:
+    """Outcome of running one Markov chain."""
+
+    best: Optional[VerifiedCandidate]
+    candidates: List[VerifiedCandidate]
+    statistics: ChainStatistics
+
+
+class MarkovChain:
+    """One MCMC chain with a fixed cost configuration (one Table 8 column)."""
+
+    def __init__(self, source: BpfProgram,
+                 cost_settings: Optional[CostSettings] = None,
+                 probabilities: Optional[RewriteRuleProbabilities] = None,
+                 seed: int = 0,
+                 test_suite: Optional[TestSuite] = None,
+                 beta_anneal: float = 1.0,
+                 equivalence_options: Optional[EquivalenceOptions] = None,
+                 latency_model: OpcodeLatencyModel = DEFAULT_LATENCY_MODEL,
+                 cache: Optional[EquivalenceCache] = None,
+                 lazy_safety: bool = True):
+        source.validate()
+        self.source = source
+        self.settings = cost_settings or CostSettings()
+        self.rng = random.Random(seed)
+        self.proposer = ProposalGenerator(source, self.rng, probabilities)
+        self.tests = test_suite or TestSuite(source, seed=seed)
+        self.safety = SafetyChecker()
+        self.equivalence_options = equivalence_options or EquivalenceOptions()
+        self.equivalence = EquivalenceChecker(self.equivalence_options)
+        self.window_equivalence = WindowEquivalenceChecker(self.equivalence_options)
+        self.cache = cache if cache is not None else EquivalenceCache()
+        self.latency_model = latency_model
+        self.beta_anneal = beta_anneal
+        self.lazy_safety = lazy_safety
+        self.stats = ChainStatistics()
+        self.verified: List[VerifiedCandidate] = []
+
+        self._current = list(source.instructions)
+        self._current_cost = self._evaluate(self.source)[0]
+
+    # ------------------------------------------------------------------ #
+    def run(self, iterations: int,
+            time_budget_seconds: Optional[float] = None) -> ChainResult:
+        """Run the chain for ``iterations`` proposals (or until the budget)."""
+        started = time.perf_counter()
+        for _ in range(iterations):
+            if time_budget_seconds is not None and \
+                    time.perf_counter() - started > time_budget_seconds:
+                break
+            self.step(started)
+        self.stats.elapsed_seconds = time.perf_counter() - started
+        ordered = sorted(self.verified, key=lambda c: c.perf_cost)
+        return ChainResult(best=ordered[0] if ordered else None,
+                           candidates=ordered, statistics=self.stats)
+
+    # ------------------------------------------------------------------ #
+    def step(self, started: Optional[float] = None) -> None:
+        """One Metropolis-Hastings step (§3.3)."""
+        self.stats.iterations += 1
+        proposal_insns = self.proposer.propose(self._current)
+        candidate = self.source.with_instructions(proposal_insns)
+        candidate_cost, _ = self._evaluate(
+            candidate, started=started)
+
+        accept_probability = 1.0 if candidate_cost <= self._current_cost else \
+            math.exp(-self.beta_anneal * (candidate_cost - self._current_cost))
+        if self.rng.random() < accept_probability:
+            self._current = proposal_insns
+            self._current_cost = candidate_cost
+            self.stats.proposals_accepted += 1
+
+    # ------------------------------------------------------------------ #
+    def _evaluate(self, candidate: BpfProgram,
+                  started: Optional[float] = None):
+        """Compute the total cost of a candidate (Fig. 1 pipeline)."""
+        settings = self.settings
+
+        # Test-case execution (cheap pruning before any static analysis).
+        candidate_outputs = self.tests.run_candidate(candidate)
+        source_outputs = self.tests.source_outputs
+        tests_pass = all(
+            s.observable() == c.observable()
+            for s, c in zip(source_outputs, candidate_outputs))
+
+        # Safety checking (§6).  With ``lazy_safety`` the full static analysis
+        # only runs for candidates that survive the test suite: candidates
+        # that already fail tests carry a large error cost, so the additional
+        # ERR_MAX term would not change the search's behaviour for them.
+        safety_result = None
+        safe_cost = 0.0
+        if tests_pass or not self.lazy_safety:
+            safety_result = self.safety.check(candidate)
+            safe_cost = 0.0 if safety_result.safe else ERR_MAX
+            if not safety_result.safe:
+                self.stats.proposals_unsafe += 1
+                for counterexample in safety_result.counterexamples[:1]:
+                    if self.tests.add_counterexample(counterexample):
+                        self.stats.counterexamples_added += 1
+
+        # Formal equivalence checking only when every test passes (§3.2) and
+        # the candidate is structurally sound enough to encode.
+        unequal = 1
+        if tests_pass and (safety_result is None or safety_result.safe):
+            equivalence = self._check_equivalence(candidate)
+            unequal = 0 if equivalence.equivalent else 1
+            if equivalence.counterexample is not None:
+                if self.tests.add_counterexample(equivalence.counterexample):
+                    self.stats.counterexamples_added += 1
+                    candidate_outputs = self.tests.run_candidate(candidate)
+                    source_outputs = self.tests.source_outputs
+            if equivalence.equivalent and safety_result is not None \
+                    and safety_result.safe:
+                self._record_verified(candidate, started)
+        else:
+            self.stats.test_failures += 1
+
+        error = error_cost(source_outputs, candidate_outputs, settings, unequal)
+        perf = performance_cost(self.source, candidate, settings,
+                                self.latency_model)
+        return total_cost(error, perf, safe_cost, settings), unequal
+
+    # ------------------------------------------------------------------ #
+    def _check_equivalence(self, candidate: BpfProgram) -> EquivalenceResult:
+        cached = None
+        if self.equivalence_options.enable_cache:
+            cached = self.cache.lookup(candidate)
+            if cached is not None:
+                self.stats.equivalence_cache_hits += 1
+                return cached
+        self.stats.equivalence_checks += 1
+
+        result: Optional[EquivalenceResult] = None
+        if self.equivalence_options.modular_verification:
+            window = self._changed_window(candidate)
+            if window is not None:
+                result = self.window_equivalence.check(self.source, candidate,
+                                                       window)
+                if result.unknown:
+                    result = None
+        if result is None:
+            result = self.equivalence.check(self.source, candidate)
+
+        if self.equivalence_options.enable_cache:
+            self.cache.store(candidate, result)
+        return result
+
+    def _changed_window(self, candidate: BpfProgram) -> Optional[Window]:
+        """The contiguous window containing every instruction that differs."""
+        source_insns = self.source.instructions
+        candidate_insns = candidate.instructions
+        if len(source_insns) != len(candidate_insns):
+            return None
+        changed = [index for index in range(len(source_insns))
+                   if source_insns[index] != candidate_insns[index]]
+        if not changed:
+            return None
+        window = Window(changed[0], changed[-1] + 1)
+        if len(window) > 6:
+            return None
+        return window
+
+    # ------------------------------------------------------------------ #
+    def _record_verified(self, candidate: BpfProgram,
+                         started: Optional[float]) -> None:
+        from ..bpf.transforms import remove_nops
+
+        perf = performance_cost(self.source, candidate, self.settings,
+                                self.latency_model)
+        elapsed = (time.perf_counter() - started) if started else 0.0
+        entry = VerifiedCandidate(
+            program=candidate.with_instructions(remove_nops(candidate.instructions)),
+            perf_cost=perf,
+            instruction_count=candidate.num_real_instructions,
+            estimated_latency=self.latency_model.program_cost(candidate),
+            found_at_iteration=self.stats.iterations,
+            found_at_seconds=elapsed)
+        self.stats.verified_candidates += 1
+        if not self.verified or perf < min(c.perf_cost for c in self.verified):
+            self.stats.best_found_at_iteration = self.stats.iterations
+            self.stats.best_found_at_seconds = elapsed
+        self.verified.append(entry)
+        # Keep the list bounded: retain the best 16 candidates.
+        self.verified.sort(key=lambda c: c.perf_cost)
+        del self.verified[16:]

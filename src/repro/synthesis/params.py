@@ -1,0 +1,100 @@
+"""The Markov-chain parameter settings K2 explores in parallel (Table 8).
+
+K2 launches its search with 16 different parameter sets, each combining a
+variant of the error cost function with a set of rewrite-rule probabilities,
+and returns the best programs found across all of them (paper §8, Appendix
+F.1).  The five best-performing settings are reproduced verbatim from
+Table 8; the remaining eleven fill out the cross-product of the cost-function
+variants so the parameter sweep of Table 9 has the full 16 columns.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from .cost import CostSettings, DiffKind, NumTestsVariant, PerformanceGoal
+from .proposals import RewriteRuleProbabilities
+
+__all__ = ["ParameterSetting", "TABLE8_SETTINGS", "all_parameter_settings",
+           "best_parameter_settings"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ParameterSetting:
+    """One column of Table 8: a cost configuration plus rewrite probabilities."""
+
+    setting_id: int
+    cost: CostSettings
+    probabilities: RewriteRuleProbabilities
+
+    def describe(self) -> dict:
+        return {
+            "id": self.setting_id,
+            "error cost": self.cost.diff_kind.value.upper(),
+            "avg by #tests": "Yes" if self.cost.normalize_by_tests else "No",
+            "alpha": self.cost.alpha,
+            "beta": self.cost.beta,
+            "prob_ir": self.probabilities.instruction_replacement,
+            "prob_or": self.probabilities.operand_replacement,
+            "prob_nr": self.probabilities.nop_replacement,
+            "prob_me1": self.probabilities.memory_exchange_1,
+            "prob_me2": self.probabilities.memory_exchange_2,
+            "prob_cir": self.probabilities.contiguous_replacement,
+        }
+
+
+_PROBS_A = RewriteRuleProbabilities(0.2, 0.4, 0.15, 0.2, 0.0, 0.05)
+_PROBS_B = RewriteRuleProbabilities(0.17, 0.33, 0.15, 0.17, 0.0, 0.18)
+_PROBS_C = RewriteRuleProbabilities(0.17, 0.33, 0.15, 0.0, 0.17, 0.18)
+
+#: The five best-performing settings, copied from Table 8 of the paper.
+TABLE8_SETTINGS: List[ParameterSetting] = [
+    ParameterSetting(1, CostSettings(DiffKind.ABSOLUTE, False,
+                                     NumTestsVariant.INCORRECT, 0.5, 5.0), _PROBS_A),
+    ParameterSetting(2, CostSettings(DiffKind.POPCOUNT, False,
+                                     NumTestsVariant.INCORRECT, 0.5, 5.0), _PROBS_B),
+    ParameterSetting(3, CostSettings(DiffKind.POPCOUNT, False,
+                                     NumTestsVariant.CORRECT, 0.5, 5.0), _PROBS_A),
+    ParameterSetting(4, CostSettings(DiffKind.ABSOLUTE, False,
+                                     NumTestsVariant.INCORRECT, 0.5, 5.0), _PROBS_C),
+    ParameterSetting(5, CostSettings(DiffKind.ABSOLUTE, True,
+                                     NumTestsVariant.INCORRECT, 0.5, 1.5), _PROBS_C),
+]
+
+
+def all_parameter_settings(goal: PerformanceGoal = PerformanceGoal.INSTRUCTION_COUNT
+                           ) -> List[ParameterSetting]:
+    """All 16 settings: Table 8's five plus the rest of the cross-product."""
+    settings = [dataclasses.replace(
+        setting, cost=dataclasses.replace(setting.cost, goal=goal))
+        for setting in TABLE8_SETTINGS]
+    setting_id = len(settings) + 1
+    probability_cycle = [_PROBS_A, _PROBS_B, _PROBS_C]
+    index = 0
+    for diff_kind in (DiffKind.ABSOLUTE, DiffKind.POPCOUNT):
+        for normalize in (False, True):
+            for variant in (NumTestsVariant.INCORRECT, NumTestsVariant.CORRECT):
+                for beta in (5.0, 1.5):
+                    if len(settings) >= 16:
+                        return settings
+                    cost = CostSettings(diff_kind, normalize, variant,
+                                        alpha=0.5, beta=beta, goal=goal)
+                    candidate = ParameterSetting(
+                        setting_id, cost, probability_cycle[index % 3])
+                    duplicate = any(
+                        existing.cost == candidate.cost
+                        and existing.probabilities == candidate.probabilities
+                        for existing in settings)
+                    if not duplicate:
+                        settings.append(candidate)
+                        setting_id += 1
+                    index += 1
+    return settings
+
+
+def best_parameter_settings(count: int = 5,
+                            goal: PerformanceGoal = PerformanceGoal.INSTRUCTION_COUNT
+                            ) -> List[ParameterSetting]:
+    """The ``count`` best settings (Table 8 order), with the given goal."""
+    return all_parameter_settings(goal)[:count]

@@ -1,0 +1,265 @@
+"""Proposal generation: the Markov chain's rewrite rules (paper §3.1).
+
+Starting from the current program, a proposal is produced by one of six
+rules, chosen with fixed probabilities:
+
+1. **Replace an instruction** — new opcode and operands at a random position.
+2. **Replace an operand** — one operand of a random instruction is resampled.
+3. **Replace by NOP** — effectively shrinks the program.
+4. **Exchange memory type 1** — a memory instruction gets a new access width
+   and a new value operand; its address operand and load/store type are kept.
+5. **Exchange memory type 2** — only the access width changes.
+6. **Replace contiguous instructions** — up to ``k = 2`` adjacent instructions
+   are replaced wholesale, enabling one-shot multi-instruction rewrites.
+
+Rules 4-6 are K2's domain-specific additions over STOKE; the ablation in
+Table 10 toggles them individually.
+
+Operands are sampled from pools harvested from the source program (registers,
+immediates, memory offsets, helper ids, map descriptors) plus a few common
+constants, which keeps the random walk inside the plausible neighbourhood of
+the original code.  Jump offsets are only ever sampled *forward*, so proposals
+are loop-free by construction (paper §6, control-flow safety).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import List, Sequence
+
+from ..bpf import builders
+from ..bpf.instruction import Instruction, NOP
+from ..bpf.opcodes import AluOp, InsnClass, JmpOp, MemSize, SrcOperand
+from ..bpf.program import BpfProgram
+
+__all__ = ["RewriteRuleProbabilities", "OperandPools", "ProposalGenerator"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RewriteRuleProbabilities:
+    """Probabilities of the six rewrite rules (Table 8)."""
+
+    instruction_replacement: float = 0.2    # prob_ir
+    operand_replacement: float = 0.4        # prob_or
+    nop_replacement: float = 0.15           # prob_nr
+    memory_exchange_1: float = 0.2          # prob_me1
+    memory_exchange_2: float = 0.0          # prob_me2
+    contiguous_replacement: float = 0.05    # prob_cir
+
+    def normalized(self) -> List[float]:
+        weights = [self.instruction_replacement, self.operand_replacement,
+                   self.nop_replacement, self.memory_exchange_1,
+                   self.memory_exchange_2, self.contiguous_replacement]
+        total = sum(weights)
+        if total <= 0:
+            raise ValueError("at least one rewrite rule must have probability > 0")
+        return [w / total for w in weights]
+
+
+_COMMON_IMMEDIATES = [0, 1, 2, 4, 8, 14, 16, 32, 0xFF, 0xFFFF]
+_ALU_OPS = [AluOp.ADD, AluOp.SUB, AluOp.MUL, AluOp.OR, AluOp.AND, AluOp.LSH,
+            AluOp.RSH, AluOp.XOR, AluOp.MOV, AluOp.ARSH]
+_JMP_OPS = [JmpOp.JEQ, JmpOp.JNE, JmpOp.JGT, JmpOp.JGE, JmpOp.JLT, JmpOp.JLE,
+            JmpOp.JSGT, JmpOp.JSET]
+_MEM_SIZES = [MemSize.B, MemSize.H, MemSize.W, MemSize.DW]
+
+
+class OperandPools:
+    """Operand values harvested from the source program."""
+
+    def __init__(self, source: BpfProgram):
+        registers = set()
+        immediates = set(_COMMON_IMMEDIATES)
+        offsets = {0, -4, -8}
+        helpers = set()
+        map_fds = set()
+        for insn in source.instructions:
+            registers |= set(insn.regs_read()) | set(insn.regs_written())
+            if insn.is_alu or insn.is_jump:
+                immediates.add(insn.imm)
+            if insn.is_memory:
+                offsets.add(insn.off)
+                if insn.is_store_imm:
+                    immediates.add(insn.imm)
+            if insn.is_call:
+                helpers.add(insn.imm)
+            if insn.is_lddw and insn.src == 1:
+                map_fds.add(insn.imm)
+        registers.discard(10)
+        self.registers = sorted(registers) or [0, 1, 2]
+        self.base_registers = sorted(registers | {10})
+        self.immediates = sorted(immediates)
+        self.offsets = sorted(offsets)
+        self.helpers = sorted(helpers)
+        self.map_fds = sorted(map_fds)
+
+
+class ProposalGenerator:
+    """Generates candidate rewrites of a program (one proposal per call)."""
+
+    def __init__(self, source: BpfProgram, rng: random.Random,
+                 probabilities: RewriteRuleProbabilities | None = None,
+                 contiguous_k: int = 2):
+        self.source = source
+        self.rng = rng
+        self.probabilities = probabilities or RewriteRuleProbabilities()
+        self.pools = OperandPools(source)
+        self.contiguous_k = contiguous_k
+        self._rules = [
+            self._replace_instruction,
+            self._replace_operand,
+            self._replace_with_nop,
+            self._memory_exchange_type1,
+            self._memory_exchange_type2,
+            self._replace_contiguous,
+        ]
+
+    # ------------------------------------------------------------------ #
+    def propose(self, current: Sequence[Instruction]) -> List[Instruction]:
+        """Return a new candidate instruction list (the input is not mutated)."""
+        candidate = list(current)
+        if not candidate:
+            return candidate
+        weights = self.probabilities.normalized()
+        rule = self.rng.choices(self._rules, weights=weights, k=1)[0]
+        rule(candidate)
+        return candidate
+
+    # ------------------------------------------------------------------ #
+    # Rule implementations
+    # ------------------------------------------------------------------ #
+    def _choose_index(self, candidate: List[Instruction]) -> int:
+        return self.rng.randrange(len(candidate))
+
+    def _replace_instruction(self, candidate: List[Instruction]) -> None:
+        index = self._choose_index(candidate)
+        candidate[index] = self._random_instruction(index, len(candidate))
+
+    def _replace_with_nop(self, candidate: List[Instruction]) -> None:
+        index = self._choose_index(candidate)
+        candidate[index] = NOP
+
+    def _replace_contiguous(self, candidate: List[Instruction]) -> None:
+        index = self._choose_index(candidate)
+        count = min(self.rng.randint(1, self.contiguous_k),
+                    len(candidate) - index)
+        for position in range(index, index + count):
+            candidate[position] = self._random_instruction(position, len(candidate))
+
+    def _replace_operand(self, candidate: List[Instruction]) -> None:
+        index = self._choose_index(candidate)
+        insn = candidate[index]
+        rng = self.rng
+        if insn.is_nop or insn.is_exit or insn.is_lddw:
+            return
+        fields = []
+        if insn.is_alu or insn.is_load or insn.is_store_reg or insn.is_xadd:
+            fields.append("dst")
+        if insn.uses_reg_source and not insn.is_store_imm:
+            fields.append("src")
+        if (insn.is_alu or insn.is_jump) and not insn.uses_reg_source \
+                and not insn.is_call:
+            fields.append("imm")
+        if insn.is_memory:
+            fields.append("off")
+        if insn.is_conditional_jump:
+            fields.append("jump_off")
+        if not fields:
+            return
+        field = rng.choice(fields)
+        if field == "dst":
+            candidate[index] = insn.with_fields(dst=rng.choice(self.pools.registers))
+        elif field == "src":
+            pool = self.pools.base_registers if insn.is_load else self.pools.registers
+            candidate[index] = insn.with_fields(src=rng.choice(pool))
+        elif field == "imm":
+            candidate[index] = insn.with_fields(imm=rng.choice(self.pools.immediates))
+        elif field == "off":
+            candidate[index] = insn.with_fields(off=rng.choice(self.pools.offsets))
+        elif field == "jump_off":
+            candidate[index] = insn.with_fields(
+                off=self._random_jump_offset(index, len(candidate)))
+
+    def _memory_exchange_type1(self, candidate: List[Instruction]) -> None:
+        """New width and new value operand; address operand and type kept."""
+        index = self._pick_memory_instruction(candidate)
+        if index is None:
+            return
+        insn = candidate[index]
+        size = self.rng.choice(_MEM_SIZES)
+        new_opcode = (insn.opcode & ~0x18) | size
+        insn = insn.with_fields(opcode=new_opcode)
+        if insn.is_store_imm:
+            insn = insn.with_fields(imm=self.rng.choice(self.pools.immediates))
+        elif insn.is_store_reg or insn.is_xadd:
+            insn = insn.with_fields(src=self.rng.choice(self.pools.registers))
+        else:  # load: resample the destination register
+            insn = insn.with_fields(dst=self.rng.choice(self.pools.registers))
+        candidate[index] = insn
+
+    def _memory_exchange_type2(self, candidate: List[Instruction]) -> None:
+        """Only the access width changes."""
+        index = self._pick_memory_instruction(candidate)
+        if index is None:
+            return
+        insn = candidate[index]
+        size = self.rng.choice(_MEM_SIZES)
+        candidate[index] = insn.with_fields(opcode=(insn.opcode & ~0x18) | size)
+
+    def _pick_memory_instruction(self, candidate: List[Instruction]):
+        indices = [i for i, insn in enumerate(candidate) if insn.is_memory]
+        if not indices:
+            return None
+        return self.rng.choice(indices)
+
+    # ------------------------------------------------------------------ #
+    # Random instruction sampling
+    # ------------------------------------------------------------------ #
+    def _random_jump_offset(self, index: int, length: int) -> int:
+        """Forward-only jump offsets keep every proposal loop-free (§6)."""
+        max_forward = length - index - 2
+        if max_forward <= 0:
+            return 0
+        return self.rng.randint(0, max_forward)
+
+    def _random_instruction(self, index: int, length: int) -> Instruction:
+        rng = self.rng
+        pools = self.pools
+        kind = rng.random()
+        if kind < 0.35:  # ALU
+            op = rng.choice(_ALU_OPS)
+            is64 = rng.random() < 0.7
+            dst = rng.choice(pools.registers)
+            if rng.random() < 0.5:
+                builder = builders.ALU64_REG if is64 else builders.ALU32_REG
+                return builder(op, dst, rng.choice(pools.registers))
+            builder = builders.ALU64_IMM if is64 else builders.ALU32_IMM
+            return builder(op, dst, rng.choice(pools.immediates))
+        if kind < 0.55:  # load
+            return builders.LDX_MEM(rng.choice(_MEM_SIZES),
+                                    rng.choice(pools.registers),
+                                    rng.choice(pools.base_registers),
+                                    rng.choice(pools.offsets))
+        if kind < 0.75:  # store
+            size = rng.choice(_MEM_SIZES)
+            base = rng.choice(pools.base_registers)
+            offset = rng.choice(pools.offsets)
+            if rng.random() < 0.4:
+                return builders.ST_MEM(size, base, offset,
+                                       rng.choice(pools.immediates))
+            if rng.random() < 0.2 and size in (MemSize.W, MemSize.DW):
+                return builders.STX_XADD(size, base,
+                                         rng.choice(pools.registers), offset)
+            return builders.STX_MEM(size, base,
+                                    rng.choice(pools.registers), offset)
+        if kind < 0.9:  # conditional jump (forward only)
+            op = rng.choice(_JMP_OPS)
+            dst = rng.choice(pools.registers)
+            offset = self._random_jump_offset(index, length)
+            if rng.random() < 0.5:
+                return builders.JMP_REG(op, dst, rng.choice(pools.registers), offset)
+            return builders.JMP_IMM(op, dst, rng.choice(pools.immediates), offset)
+        if kind < 0.95 and pools.helpers:  # helper call drawn from the source
+            return builders.CALL_HELPER(rng.choice(pools.helpers))
+        return NOP

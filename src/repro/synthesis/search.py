@@ -1,0 +1,143 @@
+"""Multi-chain search orchestration (paper §8 "how K2 is set up").
+
+K2 launches several Markov chains, one per parameter setting of Table 8,
+and returns the top-k best safe, formally-equivalent programs found across
+all of them.  The reproduction runs the chains sequentially (MCMC convergence
+depends on the number of proposals evaluated, not on wall-clock parallelism)
+and bounds each chain by an iteration count instead of a timeout so results
+are reproducible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import List, Optional
+
+from ..bpf.program import BpfProgram
+from ..equivalence import EquivalenceOptions
+from ..verifier import KernelChecker
+from .cost import PerformanceGoal
+from .mcmc import ChainResult, MarkovChain, VerifiedCandidate
+from .params import ParameterSetting, all_parameter_settings
+from .testcases import TestSuite
+
+__all__ = ["SearchOptions", "SearchResult", "Synthesizer"]
+
+
+@dataclasses.dataclass
+class SearchOptions:
+    """Knobs for one synthesis run."""
+
+    goal: PerformanceGoal = PerformanceGoal.INSTRUCTION_COUNT
+    iterations_per_chain: int = 2000
+    num_parameter_settings: int = 4
+    top_k: int = 1
+    seed: int = 0
+    num_initial_tests: int = 24
+    time_budget_seconds: Optional[float] = None
+    equivalence: EquivalenceOptions = dataclasses.field(
+        default_factory=EquivalenceOptions)
+    #: Remove outputs rejected by the kernel-checker model (post-processing).
+    kernel_checker_filter: bool = True
+
+
+@dataclasses.dataclass
+class SearchResult:
+    """Everything a caller (or a benchmark table) needs about one run."""
+
+    source: BpfProgram
+    best: Optional[VerifiedCandidate]
+    top_candidates: List[VerifiedCandidate]
+    chain_results: List[ChainResult]
+    settings_used: List[ParameterSetting]
+    elapsed_seconds: float
+    rejected_by_kernel_checker: int = 0
+
+    @property
+    def best_program(self) -> BpfProgram:
+        return self.best.program if self.best else self.source
+
+    @property
+    def compression(self) -> float:
+        """Fractional reduction in instruction count vs. the source program."""
+        if not self.best:
+            return 0.0
+        original = self.source.num_real_instructions
+        return (original - self.best.instruction_count) / original
+
+    def total_iterations(self) -> int:
+        return sum(result.statistics.iterations for result in self.chain_results)
+
+
+class Synthesizer:
+    """Run the full K2 search: several chains plus kernel-checker filtering."""
+
+    def __init__(self, options: Optional[SearchOptions] = None):
+        self.options = options or SearchOptions()
+        self.kernel_checker = KernelChecker()
+
+    # ------------------------------------------------------------------ #
+    def optimize(self, source: BpfProgram,
+                 settings: Optional[List[ParameterSetting]] = None
+                 ) -> SearchResult:
+        options = self.options
+        started = time.perf_counter()
+        if settings is None:
+            settings = all_parameter_settings(options.goal)[
+                :options.num_parameter_settings]
+
+        chain_results: List[ChainResult] = []
+        for index, setting in enumerate(settings):
+            suite = TestSuite(source, num_initial=options.num_initial_tests,
+                              seed=options.seed + index)
+            chain = MarkovChain(
+                source,
+                cost_settings=setting.cost,
+                probabilities=setting.probabilities,
+                seed=options.seed * 1009 + index,
+                test_suite=suite,
+                equivalence_options=options.equivalence)
+            budget = None
+            if options.time_budget_seconds is not None:
+                budget = options.time_budget_seconds / len(settings)
+            chain_results.append(chain.run(options.iterations_per_chain,
+                                           time_budget_seconds=budget))
+
+        candidates = [candidate
+                      for result in chain_results
+                      for candidate in result.candidates]
+        candidates.sort(key=lambda c: (c.perf_cost, c.instruction_count))
+
+        rejected = 0
+        if options.kernel_checker_filter:
+            accepted = []
+            for candidate in candidates:
+                if self.kernel_checker.load(candidate.program).accepted:
+                    accepted.append(candidate)
+                else:
+                    rejected += 1
+            candidates = accepted
+
+        top = self._deduplicate(candidates)[:max(options.top_k, 1)]
+        return SearchResult(
+            source=source,
+            best=top[0] if top else None,
+            top_candidates=top,
+            chain_results=chain_results,
+            settings_used=settings,
+            elapsed_seconds=time.perf_counter() - started,
+            rejected_by_kernel_checker=rejected)
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _deduplicate(candidates: List[VerifiedCandidate]) -> List[VerifiedCandidate]:
+        seen = set()
+        unique = []
+        for candidate in candidates:
+            key = candidate.program.structural_key()
+            if key in seen:
+                continue
+            seen.add(key)
+            unique.append(candidate)
+        return unique

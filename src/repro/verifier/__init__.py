@@ -1,0 +1,5 @@
+"""A model of the Linux kernel's in-kernel BPF static checker."""
+
+from .kernel_checker import KernelChecker, KernelCheckerVerdict
+
+__all__ = [name for name in dir() if not name.startswith("_")]

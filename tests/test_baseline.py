@@ -1,0 +1,355 @@
+"""Tests for the rule-based baseline optimizer (repro.baseline).
+
+Covers each peephole rule individually, the clang-level pipelines, the
+checker-aware vs naive behaviour on the paper's §2.2 phase-ordering examples,
+and semantic preservation of every applied rewrite (checked by executing the
+original and optimized programs in the interpreter on a batch of inputs).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baseline import (
+    OptimizationLevel,
+    PeepholeOptimizer,
+    RuleBasedCompiler,
+    all_rules,
+    compile_variants,
+    rule_by_name,
+)
+from repro.baseline.clang_levels import best_variant
+from repro.baseline.peephole import (
+    CoalesceByteStores,
+    ConstantFolding,
+    IdentityElimination,
+    MultiplyToShift,
+    RedundantMoveElimination,
+    StoreZeroStrengthReduction,
+)
+from repro.bpf import builders
+from repro.bpf.helpers import XDP_PASS
+from repro.bpf.hooks import HookType
+from repro.bpf.opcodes import AluOp, MemSize
+from repro.bpf.program import BpfProgram
+from repro.corpus import get_benchmark
+from repro.interpreter import ProgramInput, run_program
+from repro.synthesis.testcases import TestCaseGenerator as InputGenerator
+from repro.verifier import KernelChecker
+
+
+def _xdp(insns, name="prog") -> BpfProgram:
+    return BpfProgram.create(list(insns), HookType.XDP, name=name)
+
+
+def _behaviour_preserved(original: BpfProgram, optimized: BpfProgram,
+                         count: int = 16) -> bool:
+    """Run both programs on generated inputs and compare observable outputs."""
+    tests = InputGenerator(original, seed=7).generate(count)
+    for test in tests:
+        a = run_program(original, test)
+        b = run_program(optimized, test)
+        if a.observable() != b.observable():
+            return False
+    return True
+
+
+def _exit_with(value=XDP_PASS):
+    return [builders.MOV64_IMM(0, value), builders.EXIT_INSN()]
+
+
+# --------------------------------------------------------------------------- #
+# Individual rules
+# --------------------------------------------------------------------------- #
+class TestConstantFolding:
+    def test_mov_then_add_folds(self):
+        program = _xdp([builders.MOV64_IMM(2, 6),
+                        builders.ADD64_IMM(2, 10),
+                        builders.MOV64_REG(0, 2),
+                        builders.EXIT_INSN()])
+        result = PeepholeOptimizer([ConstantFolding()]).optimize(program)
+        assert result.instruction_reduction == 1
+        assert _behaviour_preserved(program, result.optimized)
+
+    def test_fold_result_too_wide_is_skipped(self):
+        program = _xdp([builders.MOV64_IMM(2, 0x7FFFFFFF),
+                        builders.LSH64_IMM(2, 40),
+                        builders.MOV64_REG(0, 2),
+                        builders.EXIT_INSN()])
+        result = PeepholeOptimizer([ConstantFolding()],
+                                   eliminate_dead_code=False).optimize(program)
+        assert result.instruction_reduction == 0
+
+    def test_different_destination_not_folded(self):
+        program = _xdp([builders.MOV64_IMM(2, 6),
+                        builders.ADD64_IMM(3, 10),
+                        builders.MOV64_REG(0, 2),
+                        builders.EXIT_INSN()])
+        result = PeepholeOptimizer([ConstantFolding()],
+                                   eliminate_dead_code=False).optimize(program)
+        assert result.applications == []
+
+
+class TestIdentityElimination:
+    @pytest.mark.parametrize("insn", [
+        builders.ADD64_IMM(2, 0),
+        builders.SUB64_IMM(2, 0),
+        builders.OR64_IMM(2, 0),
+        builders.XOR64_IMM(2, 0),
+        builders.LSH64_IMM(2, 0),
+        builders.RSH64_IMM(2, 0),
+        builders.MUL64_IMM(2, 1),
+        builders.DIV64_IMM(2, 1),
+        builders.MOV64_REG(2, 2),
+    ])
+    def test_identities_removed(self, insn):
+        program = _xdp([builders.MOV64_IMM(2, 5), insn,
+                        builders.MOV64_REG(0, 2), builders.EXIT_INSN()])
+        result = PeepholeOptimizer([IdentityElimination()]).optimize(program)
+        assert result.instruction_reduction == 1
+        assert _behaviour_preserved(program, result.optimized)
+
+    def test_32bit_identity_not_removed(self):
+        """add32 rX, 0 zeroes the upper half, so it is not an identity."""
+        program = _xdp([builders.MOV64_IMM(2, 5),
+                        builders.ADD32_IMM(2, 0),
+                        builders.MOV64_REG(0, 2), builders.EXIT_INSN()])
+        result = PeepholeOptimizer([IdentityElimination()],
+                                   eliminate_dead_code=False).optimize(program)
+        assert result.applications == []
+
+    def test_nonzero_immediate_kept(self):
+        program = _xdp([builders.MOV64_IMM(2, 5),
+                        builders.ADD64_IMM(2, 3),
+                        builders.MOV64_REG(0, 2), builders.EXIT_INSN()])
+        result = PeepholeOptimizer([IdentityElimination()],
+                                   eliminate_dead_code=False).optimize(program)
+        assert result.applications == []
+
+
+class TestMultiplyToShift:
+    @pytest.mark.parametrize("factor,shift", [(2, 1), (4, 2), (8, 3), (256, 8)])
+    def test_power_of_two_becomes_shift(self, factor, shift):
+        program = _xdp([builders.MOV64_IMM(2, 5),
+                        builders.MUL64_IMM(2, factor),
+                        builders.MOV64_REG(0, 2), builders.EXIT_INSN()])
+        result = PeepholeOptimizer([MultiplyToShift()]).optimize(program)
+        shifted = result.optimized.instructions[1]
+        assert shifted.alu_op == AluOp.LSH
+        assert shifted.imm == shift
+        assert _behaviour_preserved(program, result.optimized)
+
+    @pytest.mark.parametrize("factor", [0, 3, 6, 7, 100])
+    def test_non_power_of_two_untouched(self, factor):
+        program = _xdp([builders.MOV64_IMM(2, 5),
+                        builders.MUL64_IMM(2, factor),
+                        builders.MOV64_REG(0, 2), builders.EXIT_INSN()])
+        result = PeepholeOptimizer([MultiplyToShift()],
+                                   eliminate_dead_code=False).optimize(program)
+        assert result.applications == []
+
+
+class TestRedundantMoveElimination:
+    def test_copy_back_removed(self):
+        program = _xdp([builders.MOV64_IMM(3, 9),
+                        builders.MOV64_REG(2, 3),
+                        builders.MOV64_REG(3, 2),
+                        builders.MOV64_REG(0, 3), builders.EXIT_INSN()])
+        result = PeepholeOptimizer([RedundantMoveElimination()]).optimize(program)
+        # the freed copy also makes the first move dead, so DCE may remove it too
+        assert result.instruction_reduction >= 1
+        assert _behaviour_preserved(program, result.optimized)
+
+    def test_unrelated_moves_kept(self):
+        program = _xdp([builders.MOV64_IMM(3, 9),
+                        builders.MOV64_REG(2, 3),
+                        builders.MOV64_REG(4, 2),
+                        builders.MOV64_REG(0, 4), builders.EXIT_INSN()])
+        result = PeepholeOptimizer([RedundantMoveElimination()],
+                                   eliminate_dead_code=False).optimize(program)
+        assert result.applications == []
+
+
+class TestStoreZeroStrengthReduction:
+    def _program(self):
+        return _xdp([builders.MOV64_IMM(2, 0),
+                     builders.STX_MEM(MemSize.W, 10, 2, -8),
+                     *_exit_with()])
+
+    def test_stack_store_reduced(self):
+        program = self._program()
+        result = PeepholeOptimizer([StoreZeroStrengthReduction()]).optimize(program)
+        assert result.instruction_reduction == 1
+        stores = [i for i in result.optimized.instructions if i.is_store_imm]
+        assert len(stores) == 1 and stores[0].imm == 0
+        assert _behaviour_preserved(program, result.optimized)
+
+    def test_live_register_blocks_rewrite(self):
+        program = _xdp([builders.MOV64_IMM(2, 0),
+                        builders.STX_MEM(MemSize.W, 10, 2, -8),
+                        builders.MOV64_REG(0, 2),   # r2 still live
+                        builders.EXIT_INSN()])
+        result = PeepholeOptimizer([StoreZeroStrengthReduction()],
+                                   eliminate_dead_code=False).optimize(program)
+        assert result.applications == []
+
+
+class TestCoalesceByteStores:
+    def _program(self, base_off):
+        return _xdp([builders.ST_MEM(MemSize.B, 10, base_off, 0),
+                     builders.ST_MEM(MemSize.B, 10, base_off + 1, 0),
+                     *_exit_with()])
+
+    def test_aligned_stores_coalesced(self):
+        program = self._program(-8)
+        result = PeepholeOptimizer([CoalesceByteStores()]).optimize(program)
+        assert result.instruction_reduction == 1
+        halfwords = [i for i in result.optimized.instructions
+                     if i.is_store_imm and i.mem_size == MemSize.H]
+        assert len(halfwords) == 1
+        assert _behaviour_preserved(program, result.optimized)
+
+    def test_misaligned_stores_blocked_when_checker_aware(self):
+        program = self._program(-7)          # 512 - 7 = 505, odd
+        result = PeepholeOptimizer([CoalesceByteStores()],
+                                   checker_aware=True).optimize(program)
+        assert result.instruction_reduction == 0
+        assert result.blocked and "aligned" in result.blocked[0].note
+
+    def test_misaligned_stores_applied_when_naive(self):
+        program = self._program(-7)
+        result = PeepholeOptimizer([CoalesceByteStores()],
+                                   checker_aware=False).optimize(program)
+        assert result.instruction_reduction == 1
+        # ... and the phase-ordering problem: the kernel checker rejects it.
+        assert not KernelChecker().load(result.optimized)
+
+    def test_non_adjacent_offsets_untouched(self):
+        program = _xdp([builders.ST_MEM(MemSize.B, 10, -8, 0),
+                        builders.ST_MEM(MemSize.B, 10, -4, 0),
+                        *_exit_with()])
+        result = PeepholeOptimizer([CoalesceByteStores()],
+                                   eliminate_dead_code=False).optimize(program)
+        assert result.applications == []
+
+
+# --------------------------------------------------------------------------- #
+# Optimizer-level behaviour
+# --------------------------------------------------------------------------- #
+class TestPeepholeOptimizer:
+    def test_rules_cascade_across_passes(self):
+        """Constant folding enables identity elimination on the next pass."""
+        program = _xdp([builders.MOV64_IMM(2, 4),
+                        builders.SUB64_IMM(2, 4),     # folds to mov 0
+                        builders.MOV64_REG(3, 2),
+                        builders.ADD64_REG(3, 3),
+                        builders.MOV64_REG(0, 3),
+                        builders.EXIT_INSN()])
+        result = PeepholeOptimizer().optimize(program)
+        assert result.instruction_reduction >= 1
+        assert _behaviour_preserved(program, result.optimized)
+
+    def test_optimizer_is_idempotent(self):
+        program = get_benchmark("xdp_pktcntr").program()
+        optimizer = PeepholeOptimizer()
+        once = optimizer.optimize(program).optimized
+        twice = optimizer.optimize(once).optimized
+        assert once.num_real_instructions == twice.num_real_instructions
+
+    def test_corpus_programs_preserved(self):
+        """Checker-aware rule pipelines never change corpus behaviour."""
+        for name in ["xdp_exception", "xdp_pktcntr", "xdp_map_access",
+                     "sys_enter_open"]:
+            program = get_benchmark(name).program()
+            result = PeepholeOptimizer().optimize(program)
+            assert _behaviour_preserved(program, result.optimized), name
+            assert result.optimized.num_real_instructions <= \
+                program.num_real_instructions
+
+    def test_summary_mentions_rules(self):
+        program = _xdp([builders.MOV64_IMM(2, 6),
+                        builders.ADD64_IMM(2, 10),
+                        builders.MOV64_REG(0, 2),
+                        builders.EXIT_INSN()])
+        result = PeepholeOptimizer().optimize(program)
+        assert "constant-folding" in result.summary()
+
+    def test_rule_by_name(self):
+        assert rule_by_name("multiply-to-shift").name == "multiply-to-shift"
+        with pytest.raises(KeyError):
+            rule_by_name("not-a-rule")
+
+    def test_all_rules_unique_names(self):
+        names = [rule.name for rule in all_rules()]
+        assert len(names) == len(set(names))
+
+
+# --------------------------------------------------------------------------- #
+# Clang-level pipelines
+# --------------------------------------------------------------------------- #
+class TestClangLevels:
+    def test_O0_is_identity(self):
+        program = get_benchmark("xdp_pktcntr").program()
+        result = RuleBasedCompiler(OptimizationLevel.O0).compile(program)
+        assert result.optimized is program
+
+    def test_O2_and_O3_identical(self):
+        """The paper observes clang -O2 and -O3 always coincide."""
+        for name in ["xdp_pktcntr", "xdp_exception", "xdp1"]:
+            program = get_benchmark(name).program()
+            variants = compile_variants(program)
+            assert variants[OptimizationLevel.O2].optimized.structural_key() == \
+                variants[OptimizationLevel.O3].optimized.structural_key()
+
+    def test_levels_monotonically_smaller(self):
+        program = _xdp([builders.MOV64_IMM(2, 6),
+                        builders.ADD64_IMM(2, 10),
+                        builders.MUL64_IMM(2, 4),
+                        builders.MOV64_IMM(3, 0),
+                        builders.STX_MEM(MemSize.W, 10, 3, -8),
+                        builders.MOV64_REG(0, 2),
+                        builders.EXIT_INSN()])
+        variants = compile_variants(program)
+        sizes = {level: result.optimized.num_real_instructions
+                 for level, result in variants.items()}
+        assert sizes[OptimizationLevel.O1] <= sizes[OptimizationLevel.O0]
+        assert sizes[OptimizationLevel.O2] <= sizes[OptimizationLevel.O1]
+        assert sizes[OptimizationLevel.Os] <= sizes[OptimizationLevel.O2]
+
+    def test_best_variant_is_smallest(self):
+        program = get_benchmark("xdp_pktcntr").program()
+        best = best_variant(program)
+        all_sizes = [result.optimized.num_real_instructions
+                     for result in compile_variants(program).values()]
+        assert best.optimized.num_real_instructions == min(all_sizes)
+
+    def test_baseline_outputs_pass_kernel_checker(self):
+        for name in ["xdp_pktcntr", "xdp_exception", "xdp_map_access"]:
+            program = get_benchmark(name).program()
+            best = best_variant(program)
+            assert KernelChecker().load(best.optimized), name
+
+
+# --------------------------------------------------------------------------- #
+# Property test: applied rules always preserve behaviour (checker-aware mode)
+# --------------------------------------------------------------------------- #
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**16),
+       a=st.integers(min_value=0, max_value=255),
+       b=st.integers(min_value=0, max_value=255))
+def test_pipeline_preserves_alu_semantics_property(seed, a, b):
+    program = _xdp([
+        builders.MOV64_IMM(2, a),
+        builders.ADD64_IMM(2, b),
+        builders.MUL64_IMM(2, 8),
+        builders.ADD64_IMM(2, 0),
+        builders.MOV64_REG(3, 2),
+        builders.MOV64_REG(2, 3),
+        builders.MOV64_REG(0, 3),
+        builders.EXIT_INSN(),
+    ])
+    result = PeepholeOptimizer().optimize(program)
+    packet = bytes((seed + i) % 256 for i in range(64))
+    original = run_program(program, ProgramInput(packet=packet))
+    optimized = run_program(result.optimized, ProgramInput(packet=packet))
+    assert original.observable() == optimized.observable()

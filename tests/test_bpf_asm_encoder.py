@@ -1,0 +1,140 @@
+"""Tests for the assembler/disassembler and the binary encoder/decoder."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bpf import (
+    AsmError, EncodingError, HookType, JA, JEQ_IMM, LD_MAP_FD, LDDW, MOV64_IMM,
+    assemble, decode_program, disassemble, encode_program,
+)
+from repro.bpf.asm import assemble_line, format_instruction
+
+
+EXAMPLE = """
+    mov64 r0, 2
+    ldxw r2, [r1+0]
+    ldxw r3, [r1+4]
+    mov64 r4, r2
+    add64 r4, 14
+    jgt r4, r3, +4
+    ldxh r5, [r2+12]
+    be16 r5
+    jne r5, 0x0800, +1
+    mov64 r0, 1
+    exit
+"""
+
+
+class TestAssembler:
+    def test_assemble_example(self):
+        insns = assemble(EXAMPLE)
+        assert len(insns) == 11
+        assert insns[0] == MOV64_IMM(0, 2)
+        assert insns[-1].is_exit
+
+    def test_comments_and_blank_lines_ignored(self):
+        insns = assemble("""
+        ; a comment
+        mov64 r0, 0   // trailing comment
+        exit
+        """)
+        assert len(insns) == 2
+
+    def test_roundtrip_through_disassembly(self):
+        insns = assemble(EXAMPLE)
+        assert assemble(disassemble(insns)) == insns
+
+    def test_call_accepts_helper_names_and_ids(self):
+        by_name = assemble_line("call bpf_map_lookup_elem")
+        by_id = assemble_line("call 1")
+        assert by_name == by_id
+
+    def test_ld_map_fd(self):
+        insn = assemble_line("ld_map_fd r1, 3")
+        assert insn == LD_MAP_FD(1, 3)
+
+    def test_lddw(self):
+        insn = assemble_line("lddw r2, 0xdeadbeefcafe")
+        assert insn == LDDW(2, 0xDEADBEEFCAFE)
+
+    def test_negative_memory_offset(self):
+        insn = assemble_line("stxdw [r10-8], r1")
+        assert insn.off == -8 and insn.dst == 10 and insn.src == 1
+
+    def test_bad_register_rejected(self):
+        with pytest.raises(AsmError):
+            assemble_line("mov64 r11, 0")
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(AsmError):
+            assemble_line("frobnicate r1, r2")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(AsmError, match="line 3"):
+            assemble("mov64 r0, 0\nexit\nbadinsn r1")
+
+    def test_format_jump_offsets(self):
+        assert format_instruction(JEQ_IMM(1, 0, 3)) == "jeq r1, 0, +3"
+        assert format_instruction(JA(0)) == "ja +0"
+
+    def test_indexed_disassembly_reassembles(self):
+        insns = assemble(EXAMPLE)
+        text = disassemble(insns)
+        assert text.splitlines()[0].startswith("   0:")
+        assert assemble(text) == insns
+
+
+class TestEncoder:
+    def test_encoding_is_8_bytes_per_plain_instruction(self):
+        insns = assemble("mov64 r0, 0\nexit")
+        assert len(encode_program(insns)) == 16
+
+    def test_lddw_uses_two_slots(self):
+        insns = [LDDW(1, 0x1122334455667788), MOV64_IMM(0, 0)]
+        insns = insns + assemble("exit")
+        assert len(encode_program(insns)) == 8 * 4
+
+    def test_roundtrip_simple(self):
+        insns = assemble(EXAMPLE)
+        assert decode_program(encode_program(insns)) == insns
+
+    def test_roundtrip_with_lddw_and_jumps(self):
+        insns = assemble("""
+        ld_map_fd r1, 2
+        jeq r0, 0, +2
+        lddw r3, 0x1234567890
+        mov64 r0, 1
+        exit
+        """)
+        assert decode_program(encode_program(insns)) == insns
+
+    def test_jump_offsets_converted_across_lddw(self):
+        # The jump skips over an LDDW, which occupies two raw slots.
+        insns = assemble("""
+        jeq r1, 0, +2
+        lddw r3, 0x55
+        mov64 r0, 1
+        mov64 r0, 2
+        exit
+        """)
+        raw = encode_program(insns)
+        # The jump's raw offset (bytes 2-3 of the first slot) must be 3:
+        # two slots for the lddw plus one for the first mov.
+        assert raw[2] == 3
+        assert decode_program(raw) == insns
+
+    def test_truncated_stream_rejected(self):
+        insns = assemble("mov64 r0, 0\nexit")
+        data = encode_program(insns)
+        with pytest.raises(EncodingError):
+            decode_program(data[:-3])
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.sampled_from([
+        "mov64 r0, 1", "add64 r1, r2", "ldxw r2, [r1+0]", "stxdw [r10-8], r3",
+        "and32 r4, 0xff", "lsh64 r5, 3", "neg64 r6", "le32 r7",
+        "xadd64 [r8+0], r9", "stb [r10-1], 5",
+    ]), min_size=1, max_size=20))
+    def test_property_encode_decode_roundtrip(self, lines):
+        insns = assemble("\n".join(lines) + "\nexit")
+        assert decode_program(encode_program(insns)) == insns

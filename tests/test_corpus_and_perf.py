@@ -1,0 +1,133 @@
+"""Tests for the benchmark corpus and the performance substrate."""
+
+import pytest
+
+from repro.corpus import all_benchmarks, benchmark_names, get_benchmark
+from repro.interpreter import Interpreter
+from repro.perf import (BenchmarkRig, DEFAULT_LATENCY_MODEL, OpcodeLatencyModel,
+                        estimate_program_latency, instruction_cost)
+from repro.safety import SafetyChecker
+from repro.synthesis import TestCaseGenerator as CaseGenerator
+from repro.verifier import KernelChecker
+from repro.bpf import CALL_HELPER, HelperId, MOV64_IMM, NOP
+
+
+class TestCorpus:
+    def test_corpus_has_19_benchmarks(self):
+        assert len(benchmark_names()) == 19
+        assert {b.paper_index for b in all_benchmarks()} == set(range(1, 20))
+
+    def test_origins_match_paper(self):
+        origins = {b.origin for b in all_benchmarks()}
+        assert origins == {"linux", "facebook", "hxdp", "cilium"}
+        assert get_benchmark("xdp_pktcntr").origin == "facebook"
+        assert get_benchmark("from-network").origin == "cilium"
+        assert get_benchmark("xdp_fw").origin == "hxdp"
+
+    @pytest.mark.parametrize("name", benchmark_names())
+    def test_benchmark_is_valid_and_safe(self, name):
+        program = get_benchmark(name).program()
+        program.validate()
+        assert SafetyChecker().check(program).safe
+
+    @pytest.mark.parametrize("name", benchmark_names())
+    def test_benchmark_accepted_by_kernel_checker(self, name):
+        program = get_benchmark(name).program()
+        assert KernelChecker().load(program).accepted
+
+    @pytest.mark.parametrize("name", benchmark_names())
+    def test_benchmark_runs_without_faults(self, name):
+        program = get_benchmark(name).program()
+        interpreter = Interpreter()
+        for test in CaseGenerator(program, seed=13).generate(8):
+            output = interpreter.run(program, test)
+            assert not output.faulted, output.fault
+            if program.hook.return_range is not None:
+                low, high = program.hook.return_range
+                assert low <= output.return_value <= high
+
+    def test_xdp1_counts_protocols(self):
+        program = get_benchmark("xdp1").program()
+        interpreter = Interpreter()
+        packet = bytearray(64)
+        packet[12:14] = (0x0800).to_bytes(2, "big")
+        packet[23] = 17  # UDP
+        output = interpreter.run(program, __import__(
+            "repro.interpreter", fromlist=["ProgramInput"]).ProgramInput(
+            packet=bytes(packet)))
+        assert output.return_value == 1  # XDP_DROP
+        key = (17).to_bytes(4, "little")
+        assert output.maps[1][key] == (1).to_bytes(8, "little")
+
+    def test_xdp2_swaps_macs_and_transmits(self):
+        from repro.interpreter import ProgramInput
+
+        program = get_benchmark("xdp2").program()
+        packet = bytearray(64)
+        packet[0:6] = b"\x11" * 6
+        packet[6:12] = b"\x22" * 6
+        packet[12:14] = (0x0800).to_bytes(2, "big")
+        output = Interpreter().run(program, ProgramInput(packet=bytes(packet)))
+        assert output.return_value == 3  # XDP_TX
+        assert output.packet[0:6] == b"\x22" * 6
+        assert output.packet[6:12] == b"\x11" * 6
+
+
+class TestLatencyModel:
+    def test_helper_calls_cost_more_than_alu(self):
+        assert instruction_cost(CALL_HELPER(HelperId.MAP_LOOKUP_ELEM)) > \
+            instruction_cost(MOV64_IMM(0, 1))
+
+    def test_nop_is_free(self):
+        assert instruction_cost(NOP) == 0.0
+
+    def test_program_cost_is_sum_of_instruction_costs(self):
+        program = get_benchmark("xdp_pktcntr").program()
+        total = sum(instruction_cost(insn) for insn in program.instructions)
+        assert estimate_program_latency(program) == pytest.approx(total)
+
+    def test_scaled_model(self):
+        model = OpcodeLatencyModel(scale=2.0)
+        assert model.instruction_cost(MOV64_IMM(0, 1)) == \
+            2 * instruction_cost(MOV64_IMM(0, 1))
+
+
+class TestBenchmarkRig:
+    def setup_method(self):
+        self.program = get_benchmark("xdp_map_access").program()
+        self.rig = BenchmarkRig(self.program, packets_per_trial=2000,
+                                pool_size=32)
+
+    def test_mlffr_positive_and_bounded(self):
+        mlffr = self.rig.mlffr_mpps()
+        assert 0.1 < mlffr < 1000
+
+    def test_no_drops_below_mlffr(self):
+        mlffr = self.rig.mlffr_mpps()
+        point = self.rig.run_at_load(mlffr * 0.5)
+        assert point.drop_rate == 0.0
+        assert point.throughput_mpps == pytest.approx(mlffr * 0.5, rel=0.05)
+
+    def test_drops_above_saturation(self):
+        mlffr = self.rig.mlffr_mpps()
+        point = self.rig.run_at_load(mlffr * 1.5)
+        assert point.drop_rate > 0.0
+
+    def test_latency_grows_with_load(self):
+        mlffr = self.rig.mlffr_mpps()
+        low = self.rig.run_at_load(mlffr * 0.3)
+        high = self.rig.run_at_load(mlffr * 1.05)
+        assert high.average_latency_us >= low.average_latency_us
+
+    def test_cheaper_per_packet_work_means_higher_mlffr(self):
+        # xdp_devmap_xmit performs two map lookups per packet, xdp_exception
+        # only one: the single-lookup program must sustain a higher rate.
+        fast = get_benchmark("xdp_exception").program()
+        slow = get_benchmark("xdp_devmap_xmit").program()
+        fast_rig = BenchmarkRig(fast, packets_per_trial=2000, pool_size=32)
+        slow_rig = BenchmarkRig(slow, packets_per_trial=2000, pool_size=32)
+        assert fast_rig.mlffr_mpps() > slow_rig.mlffr_mpps()
+
+    def test_standard_latency_loads_ordering(self):
+        loads = self.rig.standard_latency_loads()
+        assert loads["low"] < loads["medium"] <= loads["high"] < loads["saturating"]

@@ -1,0 +1,259 @@
+"""Tests for the equivalence checker: full-program, window-based and cache."""
+
+import pytest
+
+from repro.bpf import BpfProgram, HookType, NOP, assemble, get_hook
+from repro.bpf.maps import MapDef, MapEnvironment, MapType
+from repro.equivalence import (
+    EquivalenceCache, EquivalenceChecker, EquivalenceOptions, Window,
+    WindowEquivalenceChecker, select_windows,
+)
+from repro.interpreter import Interpreter
+
+
+def prog(text, maps=None, hook=HookType.XDP, name="prog"):
+    return BpfProgram(instructions=assemble(text), hook=get_hook(hook),
+                      maps=maps or MapEnvironment(), name=name)
+
+
+PARSER = """
+    mov64 r0, 2
+    ldxw r2, [r1+0]
+    ldxw r3, [r1+4]
+    mov64 r4, r2
+    add64 r4, 14
+    jgt r4, r3, out
+    ldxb r5, [r2+13]
+    {payload}
+    mov64 r0, r5
+out:
+    exit
+"""
+
+
+class TestFullProgramEquivalence:
+    def test_identical_programs_equivalent(self):
+        p = prog("mov64 r0, 1\nexit")
+        assert EquivalenceChecker().check(p, p).equivalent
+
+    def test_different_return_values_not_equivalent(self):
+        result = EquivalenceChecker().check(prog("mov64 r0, 1\nexit"),
+                                            prog("mov64 r0, 2\nexit"))
+        assert not result.equivalent
+        assert result.counterexample is not None
+
+    def test_mul_vs_shift_equivalent(self):
+        a = prog(PARSER.format(payload="mul64 r5, 4"))
+        b = prog(PARSER.format(payload="lsh64 r5, 2"))
+        assert EquivalenceChecker().check(a, b).equivalent
+
+    def test_wrong_shift_rejected_with_counterexample(self):
+        a = prog(PARSER.format(payload="mul64 r5, 4"))
+        b = prog(PARSER.format(payload="lsh64 r5, 3"))
+        result = EquivalenceChecker().check(a, b)
+        assert not result.equivalent
+        assert result.counterexample is not None
+        interp = Interpreter()
+        out_a = interp.run(a, result.counterexample)
+        out_b = interp.run(b, result.counterexample)
+        assert out_a.observable() != out_b.observable()
+
+    def test_store_coalescing_equivalent(self):
+        a = prog("""
+        mov64 r1, 0
+        stxw [r10-4], r1
+        stxw [r10-8], r1
+        ldxdw r0, [r10-8]
+        exit
+        """)
+        b = prog("""
+        stdw [r10-8], 0
+        ja +0
+        ja +0
+        ldxdw r0, [r10-8]
+        exit
+        """)
+        assert EquivalenceChecker().check(a, b).equivalent
+
+    def test_dead_stack_store_removal_equivalent(self):
+        a = prog("mov64 r3, 7\nstxdw [r10-16], r3\nmov64 r0, 0\nexit")
+        b = prog("ja +0\nja +0\nmov64 r0, 0\nexit")
+        assert EquivalenceChecker().check(a, b).equivalent
+
+    def test_packet_write_difference_detected(self):
+        a = prog("""
+        ldxw r2, [r1+0]
+        ldxw r3, [r1+4]
+        mov64 r4, r2
+        add64 r4, 14
+        jgt r4, r3, out
+        stb [r2+0], 1
+        out:
+        mov64 r0, 2
+        exit
+        """)
+        b = a.with_instructions([insn if not insn.is_store_imm else
+                                 insn.with_fields(imm=2)
+                                 for insn in a.instructions])
+        result = EquivalenceChecker().check(a, b)
+        assert not result.equivalent
+
+    def test_commuted_packet_writes_equivalent(self):
+        header = """
+        ldxw r2, [r1+0]
+        ldxw r3, [r1+4]
+        mov64 r4, r2
+        add64 r4, 14
+        jgt r4, r3, out
+        """
+        a = prog(header + "stb [r2+0], 1\nstb [r2+1], 2\nout:\nmov64 r0, 2\nexit")
+        b = prog(header + "stb [r2+1], 2\nstb [r2+0], 1\nout:\nmov64 r0, 2\nexit")
+        assert EquivalenceChecker().check(a, b).equivalent
+
+    def test_map_xadd_vs_load_add_store(self):
+        maps = MapEnvironment([MapDef(fd=1, name="m", map_type=MapType.ARRAY,
+                                      key_size=4, value_size=8, max_entries=4)])
+        prologue = """
+        mov64 r6, 0
+        stxw [r10-4], r6
+        mov64 r2, r10
+        add64 r2, -4
+        ld_map_fd r1, 1
+        call bpf_map_lookup_elem
+        jeq r0, 0, out
+        """
+        a = prog(prologue + """
+        ldxdw r3, [r0+0]
+        add64 r3, 1
+        stxdw [r0+0], r3
+        out:
+        mov64 r0, 2
+        exit
+        """, maps)
+        b = prog(prologue + """
+        mov64 r3, 1
+        xadd64 [r0+0], r3
+        ja +0
+        out:
+        mov64 r0, 2
+        exit
+        """, maps)
+        assert EquivalenceChecker().check(a, b).equivalent
+
+    def test_missing_map_update_detected(self):
+        maps = MapEnvironment([MapDef(fd=1, name="m", map_type=MapType.HASH,
+                                      key_size=4, value_size=8, max_entries=8)])
+        a = prog("""
+        mov64 r6, 9
+        stxw [r10-4], r6
+        mov64 r7, 1
+        stxdw [r10-16], r7
+        ld_map_fd r1, 1
+        mov64 r2, r10
+        add64 r2, -4
+        mov64 r3, r10
+        add64 r3, -16
+        mov64 r4, 0
+        call bpf_map_update_elem
+        mov64 r0, 0
+        exit
+        """, maps)
+        b = prog("mov64 r0, 0\nexit", maps)
+        result = EquivalenceChecker().check(a, b)
+        assert not result.equivalent
+
+    def test_pure_helper_result_is_modelled_precisely(self):
+        # Both programs overwrite r0 after calling a *pure* helper, so the
+        # call is dead and the programs really are equivalent.
+        a = prog("call bpf_get_smp_processor_id\nmov64 r0, 0\nexit")
+        b = prog("call bpf_ktime_get_ns\nmov64 r0, 0\nexit")
+        assert EquivalenceChecker().check(a, b).equivalent
+
+    def test_different_uninterpreted_helper_sequences_not_equivalent(self):
+        # bpf_redirect is modelled as an uninterpreted, effectful helper:
+        # dropping the call cannot be proved equivalent.
+        a = prog("mov64 r1, 1\nmov64 r2, 0\ncall bpf_redirect\n"
+                 "mov64 r0, 2\nexit")
+        b = prog("mov64 r1, 1\nmov64 r2, 0\nja +0\nmov64 r0, 2\nexit")
+        result = EquivalenceChecker().check(a, b)
+        assert not result.equivalent
+
+    def test_looping_candidate_reported_unknown(self):
+        a = prog("mov64 r0, 0\nexit")
+        b = prog("mov64 r0, 0\nja -1\nexit")
+        result = EquivalenceChecker().check(a, b)
+        assert not result.equivalent and result.unknown
+
+
+class TestWindowEquivalence:
+    def test_select_windows_skips_branches(self):
+        p = prog(PARSER.format(payload="mul64 r5, 4"))
+        windows = select_windows(p, max_size=4)
+        assert windows
+        for window in windows:
+            for insn in p.instructions[window.start:window.end]:
+                assert not (insn.is_branch and not insn.is_nop)
+
+    def test_context_dependent_rewrite_proved(self):
+        source = prog("lddw r3, 0xffe00000\nmov64 r0, r2\nand64 r0, r3\n"
+                      "rsh64 r0, 21\nexit")
+        candidate = prog("lddw r3, 0xffe00000\nmov32 r0, r2\nrsh64 r0, 21\n"
+                         "ja +0\nexit")
+        result = WindowEquivalenceChecker().check(source, candidate, Window(1, 4))
+        assert result.equivalent
+
+    def test_unconditional_rewrite_refuted(self):
+        source = prog("lddw r3, 0xffe00000\nmov64 r0, r2\nand64 r0, r3\n"
+                      "rsh64 r0, 21\nexit")
+        candidate = prog("lddw r3, 0xffe00000\nmov64 r0, r2\nrsh64 r0, 21\n"
+                         "ja +0\nexit")
+        result = WindowEquivalenceChecker().check(source, candidate, Window(1, 4))
+        assert not result.equivalent
+
+    def test_difference_outside_window_is_unknown(self):
+        source = prog("mov64 r2, 1\nmov64 r3, 2\nmov64 r0, 0\nexit")
+        candidate = prog("mov64 r2, 9\nmov64 r3, 2\nmov64 r0, 1\nexit")
+        result = WindowEquivalenceChecker().check(source, candidate, Window(0, 1))
+        assert result.unknown
+
+    def test_dead_store_in_window_proved(self):
+        source = prog("""
+        mov64 r6, 0
+        stxw [r10-4], r6
+        stxw [r10-4], r6
+        ldxw r0, [r10-4]
+        exit
+        """)
+        candidate = source.with_instructions(
+            [source.instructions[0], NOP] + list(source.instructions[2:]))
+        result = WindowEquivalenceChecker().check(source, candidate, Window(1, 2))
+        assert result.equivalent
+
+
+class TestEquivalenceCache:
+    def test_cache_hit_after_store(self):
+        cache = EquivalenceCache()
+        p = prog("mov64 r0, 1\nexit")
+        assert cache.lookup(p) is None
+        from repro.equivalence import EquivalenceResult
+
+        cache.store(p, EquivalenceResult(equivalent=True))
+        assert cache.lookup(p).equivalent
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_programs_differing_only_in_dead_code_share_entries(self):
+        cache = EquivalenceCache()
+        a = prog("mov64 r3, 5\nmov64 r0, 1\nexit")
+        b = prog("ja +0\nmov64 r0, 1\nexit")
+        assert cache.canonicalize(a) == cache.canonicalize(b)
+
+    def test_hit_rate(self):
+        cache = EquivalenceCache()
+        p = prog("mov64 r0, 1\nexit")
+        from repro.equivalence import EquivalenceResult
+
+        cache.lookup(p)
+        cache.store(p, EquivalenceResult(equivalent=True))
+        cache.lookup(p)
+        cache.lookup(p)
+        assert cache.hit_rate == pytest.approx(2 / 3)

@@ -1,0 +1,325 @@
+"""Tests for the BPF interpreter: ALU semantics, memory, maps, helpers, faults."""
+
+import pytest
+
+from repro.bpf import BpfProgram, HookType, assemble, get_hook
+from repro.bpf.maps import MapDef, MapEnvironment, MapType
+from repro.interpreter import Interpreter, ProgramInput
+
+
+def run(text, hook=HookType.XDP, maps=None, test=None, **kwargs):
+    program = BpfProgram(instructions=assemble(text), hook=get_hook(hook),
+                         maps=maps or MapEnvironment(), name="test")
+    return Interpreter(**kwargs).run(program, test or ProgramInput(packet=bytes(64)))
+
+
+class TestAluSemantics:
+    def test_mov_and_add(self):
+        out = run("mov64 r0, 5\nadd64 r0, 7\nexit")
+        assert out.return_value == 12
+
+    def test_sub_wraps_unsigned(self):
+        out = run("mov64 r0, 3\nsub64 r0, 5\nexit")
+        assert out.return_value == (3 - 5) & ((1 << 64) - 1)
+
+    def test_alu32_zero_extends(self):
+        out = run("mov64 r0, -1\nadd32 r0, 1\nexit")
+        assert out.return_value == 0
+
+    def test_mov32_truncates(self):
+        out = run("lddw r1, 0x1122334455667788\nmov32 r0, r1\nexit")
+        assert out.return_value == 0x55667788
+
+    def test_div_by_zero_yields_zero(self):
+        out = run("mov64 r0, 100\nmov64 r1, 0\ndiv64 r0, r1\nexit")
+        assert out.return_value == 0
+
+    def test_mod_by_zero_keeps_dividend(self):
+        out = run("mov64 r0, 100\nmov64 r1, 0\nmod64 r0, r1\nexit")
+        assert out.return_value == 100
+
+    def test_arithmetic_shift_right(self):
+        out = run("mov64 r0, -8\narsh64 r0, 1\nexit")
+        assert out.return_value == (-4) & ((1 << 64) - 1)
+
+    def test_logical_shift_right(self):
+        out = run("mov64 r0, -8\nrsh64 r0, 1\nexit")
+        assert out.return_value == ((-8) & ((1 << 64) - 1)) >> 1
+
+    def test_neg(self):
+        out = run("mov64 r0, 5\nneg64 r0\nexit")
+        assert out.return_value == (-5) & ((1 << 64) - 1)
+
+    def test_byte_swap_be16(self):
+        out = run("mov64 r0, 0x1234\nbe16 r0\nexit")
+        assert out.return_value == 0x3412
+
+    def test_byte_swap_le32_truncates(self):
+        out = run("lddw r0, 0x1122334455667788\nle32 r0\nexit")
+        assert out.return_value == 0x55667788
+
+    def test_xor_and_or(self):
+        out = run("mov64 r0, 0xf0\nxor64 r0, 0xff\nor64 r0, 0x100\nexit")
+        assert out.return_value == 0x10F
+
+
+class TestMemoryAndStack:
+    def test_stack_store_load_roundtrip(self):
+        out = run("""
+        mov64 r2, 0x1234
+        stxdw [r10-8], r2
+        ldxdw r0, [r10-8]
+        exit
+        """)
+        assert out.return_value == 0x1234
+
+    def test_narrow_store_only_writes_width(self):
+        out = run("""
+        mov64 r2, -1
+        stxdw [r10-8], r2
+        stb [r10-8], 0
+        ldxdw r0, [r10-8]
+        exit
+        """)
+        assert out.return_value == 0xFFFFFFFFFFFFFF00
+
+    def test_uninitialized_stack_read_faults(self):
+        out = run("ldxdw r0, [r10-16]\nexit")
+        assert out.faulted and "Uninitialized" in out.fault
+
+    def test_out_of_bounds_stack_faults(self):
+        out = run("mov64 r2, 1\nstxdw [r10+8], r2\nmov64 r0, 0\nexit")
+        assert out.faulted and "OutOfBounds" in out.fault
+
+    def test_packet_read(self):
+        packet = bytes(range(64))
+        out = run("""
+        ldxw r2, [r1+0]
+        ldxw r3, [r1+4]
+        mov64 r4, r2
+        add64 r4, 8
+        jgt r4, r3, +2
+        ldxb r0, [r2+5]
+        exit
+        mov64 r0, 0
+        exit
+        """, test=ProgramInput(packet=packet))
+        assert out.return_value == 5
+
+    def test_packet_out_of_bounds_faults(self):
+        out = run("""
+        ldxw r2, [r1+0]
+        ldxdw r0, [r2+100]
+        exit
+        """, test=ProgramInput(packet=bytes(16)))
+        assert out.faulted and "OutOfBounds" in out.fault
+
+    def test_packet_store_visible_in_output(self):
+        out = run("""
+        ldxw r2, [r1+0]
+        stb [r2+0], 0xAB
+        mov64 r0, 2
+        exit
+        """, test=ProgramInput(packet=bytes(16)))
+        assert out.packet[0] == 0xAB
+
+    def test_ctx_scalar_field_read(self):
+        out = run("ldxw r0, [r1+12]\nexit",
+                  test=ProgramInput(packet=bytes(16), ctx={"ingress_ifindex": 42}))
+        assert out.return_value == 42
+
+    def test_store_to_ctx_faults(self):
+        out = run("mov64 r2, 9\nstxw [r1+12], r2\nmov64 r0, 0\nexit")
+        assert out.faulted
+
+    def test_null_dereference_faults(self):
+        out = run("mov64 r2, 0\nldxdw r0, [r2+0]\nexit")
+        assert out.faulted and "NullPointer" in out.fault
+
+    def test_write_to_r10_faults(self):
+        out = run("mov64 r10, 1\nmov64 r0, 0\nexit")
+        assert out.faulted and "ReadOnly" in out.fault
+
+
+class TestControlFlow:
+    def test_unconditional_jump(self):
+        out = run("ja +1\nmov64 r0, 1\nmov64 r0, 2\nexit")
+        assert out.return_value == 2
+
+    def test_signed_comparison(self):
+        out = run("""
+        mov64 r2, -1
+        jsgt r2, 0, +2
+        mov64 r0, 10
+        exit
+        mov64 r0, 20
+        exit
+        """)
+        assert out.return_value == 10
+
+    def test_unsigned_comparison_treats_negative_as_large(self):
+        out = run("""
+        mov64 r2, -1
+        jgt r2, 0, +2
+        mov64 r0, 10
+        exit
+        mov64 r0, 20
+        exit
+        """)
+        assert out.return_value == 20
+
+    def test_jset(self):
+        out = run("""
+        mov64 r2, 0b1010
+        jset r2, 0b0010, +2
+        mov64 r0, 0
+        exit
+        mov64 r0, 1
+        exit
+        """)
+        assert out.return_value == 1
+
+    def test_infinite_loop_hits_step_limit(self):
+        out = run("ja -1\nexit", step_limit=100)
+        assert out.faulted and "InstructionLimit" in out.fault
+
+    def test_uninitialized_register_read_faults(self):
+        out = run("mov64 r0, r5\nexit")
+        assert out.faulted and "Uninitialized" in out.fault
+
+
+def _counter_map_env():
+    return MapEnvironment([MapDef(fd=1, name="counters", map_type=MapType.ARRAY,
+                                  key_size=4, value_size=8, max_entries=4)])
+
+
+class TestMapsAndHelpers:
+    def test_array_map_lookup_and_xadd(self):
+        maps = _counter_map_env()
+        out = run("""
+        mov64 r1, 0
+        stxw [r10-4], r1
+        mov64 r2, r10
+        add64 r2, -4
+        ld_map_fd r1, 1
+        call bpf_map_lookup_elem
+        jeq r0, 0, +3
+        mov64 r1, 5
+        xadd64 [r0+0], r1
+        ja +0
+        mov64 r0, 2
+        exit
+        """, maps=maps)
+        assert out.return_value == 2
+        assert out.maps[1][bytes(4)] == (5).to_bytes(8, "little")
+
+    def test_hash_map_lookup_miss_returns_null(self):
+        maps = MapEnvironment([MapDef(fd=1, name="h", map_type=MapType.HASH,
+                                      key_size=4, value_size=8, max_entries=16)])
+        out = run("""
+        mov64 r1, 77
+        stxw [r10-4], r1
+        mov64 r2, r10
+        add64 r2, -4
+        ld_map_fd r1, 1
+        call bpf_map_lookup_elem
+        exit
+        """, maps=maps)
+        assert out.return_value == 0
+
+    def test_map_update_then_lookup(self):
+        maps = MapEnvironment([MapDef(fd=1, name="h", map_type=MapType.HASH,
+                                      key_size=4, value_size=8, max_entries=16)])
+        out = run("""
+        mov64 r1, 9
+        stxw [r10-4], r1
+        mov64 r1, 0x42
+        stxdw [r10-16], r1
+        ld_map_fd r1, 1
+        mov64 r2, r10
+        add64 r2, -4
+        mov64 r3, r10
+        add64 r3, -16
+        mov64 r4, 0
+        call bpf_map_update_elem
+        mov64 r1, 9
+        stxw [r10-4], r1
+        ld_map_fd r1, 1
+        mov64 r2, r10
+        add64 r2, -4
+        call bpf_map_lookup_elem
+        jeq r0, 0, +2
+        ldxdw r0, [r0+0]
+        exit
+        mov64 r0, 0
+        exit
+        """, maps=maps)
+        assert out.return_value == 0x42
+
+    def test_initial_map_contents_from_test_case(self):
+        maps = _counter_map_env()
+        test = ProgramInput(packet=bytes(64),
+                            map_contents={1: {bytes(4): (7).to_bytes(8, "little")}})
+        out = run("""
+        mov64 r1, 0
+        stxw [r10-4], r1
+        mov64 r2, r10
+        add64 r2, -4
+        ld_map_fd r1, 1
+        call bpf_map_lookup_elem
+        jeq r0, 0, +2
+        ldxdw r0, [r0+0]
+        exit
+        mov64 r0, 0
+        exit
+        """, maps=maps, test=test)
+        assert out.return_value == 7
+
+    def test_helper_clobbers_r1_to_r5(self):
+        out = run("""
+        mov64 r3, 55
+        call bpf_get_smp_processor_id
+        mov64 r0, r3
+        exit
+        """)
+        assert out.faulted and "Uninitialized" in out.fault
+
+    def test_ktime_and_random_come_from_test_case(self):
+        test = ProgramInput(packet=bytes(16), time_ns=999, random_values=[123])
+        out = run("call bpf_ktime_get_ns\nexit", test=test)
+        assert out.return_value == 999
+        out = run("call bpf_get_prandom_u32\nexit", test=test)
+        assert out.return_value == 123
+
+    def test_adjust_head_shrinks_packet(self):
+        out = run("""
+        mov64 r6, r1
+        mov64 r2, 4
+        call bpf_xdp_adjust_head
+        mov64 r1, r6
+        ldxw r2, [r1+0]
+        ldxw r3, [r1+4]
+        mov64 r0, r3
+        sub64 r0, r2
+        exit
+        """, test=ProgramInput(packet=bytes(20)))
+        assert out.return_value == 16
+        assert len(out.packet) == 16
+
+    def test_redirect_map_returns_redirect_action(self):
+        maps = MapEnvironment([MapDef(fd=2, name="devmap", map_type=MapType.DEVMAP,
+                                      key_size=4, value_size=4, max_entries=8)])
+        out = run("""
+        ld_map_fd r1, 2
+        mov64 r2, 1
+        mov64 r3, 0
+        call bpf_redirect_map
+        exit
+        """, maps=maps)
+        assert out.return_value == 4
+
+    def test_estimated_cost_accumulates(self):
+        out = run("mov64 r0, 1\nadd64 r0, 1\nexit",
+                  opcode_cost_fn=lambda insn: 2.0)
+        assert out.estimated_ns == pytest.approx(6.0)
+        assert out.steps == 3

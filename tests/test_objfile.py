@@ -1,0 +1,304 @@
+"""Tests for the object-file container, loader and patcher (repro.objfile)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bpf import builders
+from repro.bpf.encoder import decode_program, encode_program
+from repro.bpf.helpers import HelperId, XDP_DROP, XDP_PASS
+from repro.bpf.hooks import HookType
+from repro.bpf.maps import MapDef, MapEnvironment, MapType
+from repro.bpf.opcodes import JmpOp, MemSize
+from repro.bpf.program import BpfProgram
+from repro.corpus import get_benchmark
+from repro.interpreter import ProgramInput, run_program
+from repro.objfile import (
+    BpfObjectFile,
+    MapSymbol,
+    ObjectFormatError,
+    ObjectLoader,
+    ObjectPatcher,
+    PatchError,
+    ProgramSection,
+    Relocation,
+    build_object,
+    load_object,
+    patch_object,
+)
+
+
+# --------------------------------------------------------------------------- #
+# Fixtures: small programs with and without maps
+# --------------------------------------------------------------------------- #
+def _plain_program(name="plain") -> BpfProgram:
+    insns = [
+        builders.MOV64_IMM(0, XDP_PASS),
+        builders.EXIT_INSN(),
+    ]
+    return BpfProgram.create(insns, HookType.XDP, name=name)
+
+
+def _map_program(name="with_map") -> BpfProgram:
+    """A counter program: one array map, one lookup, one increment."""
+    maps = MapEnvironment([MapDef(fd=3, name="counters",
+                                  map_type=MapType.ARRAY, key_size=4,
+                                  value_size=8, max_entries=4)])
+    insns = [
+        builders.MOV64_IMM(1, 0),                       # key = 0
+        builders.STX_MEM(MemSize.W, 10, 1, -4),
+        builders.MOV64_REG(2, 10),
+        builders.ADD64_IMM(2, -4),
+        builders.LD_MAP_FD(1, 3),                       # map reference
+        builders.CALL_HELPER(HelperId.MAP_LOOKUP_ELEM),
+        builders.JMP_IMM(JmpOp.JEQ, 0, 0, 2),
+        builders.MOV64_IMM(1, 1),
+        builders.STX_XADD(MemSize.DW, 0, 1, 0),
+        builders.MOV64_IMM(0, XDP_DROP),
+        builders.EXIT_INSN(),
+    ]
+    return BpfProgram.create(insns, HookType.XDP, maps=maps, name=name)
+
+
+# --------------------------------------------------------------------------- #
+# MapSymbol
+# --------------------------------------------------------------------------- #
+class TestMapSymbol:
+    def test_roundtrip_through_map_def(self):
+        symbol = MapSymbol("flows", MapType.HASH, 8, 16, 1024)
+        definition = symbol.to_map_def(fd=7)
+        assert definition.fd == 7
+        assert definition.name == "flows"
+        assert MapSymbol.from_map_def(definition) == symbol
+
+    def test_from_map_def_strips_fd(self):
+        definition = MapDef(fd=9, name="m", map_type=MapType.ARRAY,
+                            key_size=4, value_size=4, max_entries=1)
+        symbol = MapSymbol.from_map_def(definition)
+        assert not hasattr(symbol, "fd")
+        assert symbol.key_size == 4
+
+
+# --------------------------------------------------------------------------- #
+# Container format
+# --------------------------------------------------------------------------- #
+class TestObjectFormat:
+    def test_build_and_serialize_roundtrip(self):
+        program = _map_program()
+        obj = build_object([program])
+        data = obj.to_bytes()
+        parsed = BpfObjectFile.from_bytes(data)
+        assert parsed.license == "GPL"
+        assert [s.name for s in parsed.maps] == ["counters"]
+        assert [p.name for p in parsed.programs] == ["with_map"]
+        assert parsed.to_bytes() == data
+
+    def test_multiple_program_sections(self):
+        obj = build_object([_plain_program("a"), _plain_program("b")])
+        parsed = BpfObjectFile.from_bytes(obj.to_bytes())
+        assert [p.name for p in parsed.programs] == ["a", "b"]
+
+    def test_bad_magic_rejected(self):
+        data = bytearray(build_object([_plain_program()]).to_bytes())
+        data[0:8] = b"NOTMAGIC"
+        with pytest.raises(ObjectFormatError, match="magic"):
+            BpfObjectFile.from_bytes(bytes(data))
+
+    def test_truncated_file_rejected(self):
+        data = build_object([_map_program()]).to_bytes()
+        with pytest.raises(ObjectFormatError):
+            BpfObjectFile.from_bytes(data[: len(data) // 2])
+
+    def test_trailing_garbage_rejected(self):
+        data = build_object([_plain_program()]).to_bytes()
+        with pytest.raises(ObjectFormatError, match="trailing"):
+            BpfObjectFile.from_bytes(data + b"\0")
+
+    def test_relocation_to_unknown_symbol_rejected(self):
+        section = ProgramSection(
+            name="p", hook_type=HookType.XDP,
+            text=encode_program(_plain_program().instructions),
+            relocations=[Relocation(slot_index=0, symbol="nonexistent")])
+        obj = BpfObjectFile(programs=[section], maps=[])
+        with pytest.raises(ObjectFormatError, match="unknown map symbol"):
+            obj.validate()
+
+    def test_relocation_out_of_range_rejected(self):
+        symbol = MapSymbol("m", MapType.ARRAY, 4, 4, 1)
+        section = ProgramSection(
+            name="p", hook_type=HookType.XDP,
+            text=encode_program(_plain_program().instructions),
+            relocations=[Relocation(slot_index=99, symbol="m")])
+        obj = BpfObjectFile(programs=[section], maps=[symbol])
+        with pytest.raises(ObjectFormatError, match="outside the text"):
+            obj.validate()
+
+    def test_duplicate_map_symbols_rejected(self):
+        symbol = MapSymbol("m", MapType.ARRAY, 4, 4, 1)
+        obj = BpfObjectFile(programs=[], maps=[symbol, symbol])
+        with pytest.raises(ObjectFormatError, match="duplicate"):
+            obj.validate()
+
+    def test_misaligned_text_rejected(self):
+        section = ProgramSection(name="p", hook_type=HookType.XDP,
+                                 text=b"\0" * 9)
+        with pytest.raises(ObjectFormatError, match="multiple"):
+            section.validate([])
+
+    def test_long_name_rejected(self):
+        program = _plain_program(name="x" * 40)
+        with pytest.raises(ObjectFormatError, match="longer"):
+            build_object([program]).to_bytes()
+
+    def test_accessors(self):
+        obj = build_object([_map_program()])
+        assert obj.program("with_map").hook_type == HookType.XDP
+        assert obj.map_symbol("counters").value_size == 8
+        with pytest.raises(KeyError):
+            obj.program("missing")
+        with pytest.raises(KeyError):
+            obj.map_symbol("missing")
+
+    @settings(max_examples=25, deadline=None)
+    @given(license=st.text(
+        alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+        max_size=64))
+    def test_license_roundtrip_property(self, license):
+        obj = build_object([_plain_program()], license=license)
+        assert BpfObjectFile.from_bytes(obj.to_bytes()).license == license
+
+
+# --------------------------------------------------------------------------- #
+# Loader
+# --------------------------------------------------------------------------- #
+class TestLoader:
+    def test_load_assigns_sequential_fds(self):
+        program = _map_program()
+        loaded = load_object(build_object([program]))
+        assert loaded.map_fds == {"counters": 1}
+        assert loaded.maps.definition(1).name == "counters"
+
+    def test_load_relocates_map_references(self):
+        program = _map_program()
+        loaded = load_object(build_object([program]))
+        relocated = loaded.program("with_map")
+        refs = [insn for insn in relocated.instructions
+                if insn.is_lddw and insn.src == 1]
+        assert len(refs) == 1
+        assert refs[0].imm64 == 1     # the freshly assigned fd
+
+    def test_loaded_program_behaves_like_original(self):
+        """The load round trip must preserve input/output behaviour."""
+        original = _map_program()
+        loaded = load_object(build_object([original]))
+        relocated = loaded.program("with_map")
+        packet = bytes(range(64))
+        out_original = run_program(original, ProgramInput(packet=packet))
+        out_loaded = run_program(relocated, ProgramInput(packet=packet))
+        assert out_original.observable()[0] == out_loaded.observable()[0]
+
+    def test_load_custom_first_fd(self):
+        loaded = load_object(build_object([_map_program()]), first_fd=10)
+        assert loaded.map_fds == {"counters": 10}
+
+    def test_unrelocated_map_reference_rejected(self):
+        obj = build_object([_map_program()])
+        obj.programs[0].relocations.clear()
+        with pytest.raises(ObjectFormatError, match="no relocation record"):
+            load_object(obj)
+
+    def test_relocation_must_target_lddw(self):
+        obj = build_object([_map_program()])
+        # Point the relocation at the first instruction (a MOV).
+        obj.programs[0].relocations[0] = Relocation(slot_index=0,
+                                                    symbol="counters")
+        with pytest.raises(ObjectFormatError):
+            load_object(obj)
+
+    def test_invalid_first_fd(self):
+        with pytest.raises(ValueError):
+            ObjectLoader(first_fd=0)
+
+    def test_corpus_benchmarks_roundtrip_through_object_files(self):
+        """Every corpus benchmark survives build -> serialize -> load."""
+        for name in ["xdp_pktcntr", "xdp_exception", "xdp1", "xdp_fw"]:
+            program = get_benchmark(name).program()
+            obj = BpfObjectFile.from_bytes(build_object([program]).to_bytes())
+            loaded = load_object(obj)
+            reloaded = loaded.programs[0].program
+            assert reloaded.num_real_instructions == \
+                program.num_real_instructions
+
+
+# --------------------------------------------------------------------------- #
+# Patcher
+# --------------------------------------------------------------------------- #
+class TestPatcher:
+    def test_patch_replaces_text_and_keeps_maps(self):
+        original = _map_program()
+        obj = build_object([original])
+        loaded = load_object(obj)
+        # "Optimize": drop one dead mov by reusing the loaded program as-is
+        # minus nothing; simply patch the loaded program back.
+        patched = patch_object(obj, "with_map", loaded.program("with_map"),
+                               map_fds=loaded.map_fds)
+        assert [s.name for s in patched.maps] == ["counters"]
+        reloaded = load_object(patched).program("with_map")
+        packet = bytes(64)
+        assert run_program(reloaded, ProgramInput(packet=packet)).observable()[0] == \
+            run_program(original, ProgramInput(packet=packet)).observable()[0]
+
+    def test_patch_smaller_program(self):
+        original = _plain_program()
+        obj = build_object([original])
+        optimized = original.with_instructions([
+            builders.MOV64_IMM(0, XDP_PASS),
+            builders.EXIT_INSN(),
+        ])
+        patched = patch_object(obj, "plain", optimized)
+        section = patched.program("plain")
+        assert len(section.text) == len(optimized.instructions) * 8
+
+    def test_patch_unknown_section_rejected(self):
+        obj = build_object([_plain_program()])
+        with pytest.raises(PatchError, match="no program section"):
+            patch_object(obj, "missing", _plain_program())
+
+    def test_patch_hook_mismatch_rejected(self):
+        obj = build_object([_plain_program()])
+        other = BpfProgram.create([builders.MOV64_IMM(0, 0),
+                                   builders.EXIT_INSN()],
+                                  HookType.SOCKET_FILTER, name="plain")
+        with pytest.raises(PatchError, match="hook"):
+            patch_object(obj, "plain", other)
+
+    def test_patch_cannot_add_new_map_references(self):
+        original = _plain_program()
+        obj = build_object([original])
+        with_map = _map_program(name="plain")
+        with pytest.raises(PatchError):
+            ObjectPatcher(obj, map_fds={"counters": 3}).patch("plain", with_map)
+
+    def test_patched_object_serializes(self):
+        original = _map_program()
+        obj = build_object([original])
+        loaded = load_object(obj)
+        patched = patch_object(obj, "with_map", loaded.program("with_map"),
+                               map_fds=loaded.map_fds)
+        assert BpfObjectFile.from_bytes(patched.to_bytes()).program("with_map")
+
+
+# --------------------------------------------------------------------------- #
+# Property tests: encode/decode under the object container
+# --------------------------------------------------------------------------- #
+@settings(max_examples=30, deadline=None)
+@given(values=st.lists(st.integers(min_value=0, max_value=0xFFFF),
+                       min_size=1, max_size=12))
+def test_object_text_roundtrip_property(values):
+    """Arbitrary straight-line ALU programs round-trip through an object file."""
+    insns = [builders.MOV64_IMM(1, value % 1024) for value in values]
+    insns += [builders.MOV64_IMM(0, 0), builders.EXIT_INSN()]
+    program = BpfProgram.create(insns, HookType.XDP, name="prop")
+    obj = BpfObjectFile.from_bytes(build_object([program]).to_bytes())
+    decoded = decode_program(obj.program("prop").text)
+    assert decoded == list(program.instructions)

@@ -1,0 +1,85 @@
+"""Robustness of the search pipeline against structurally broken candidates.
+
+The proposal rules can produce candidates whose control flow is malformed
+(e.g. a conditional jump placed at the very last position, whose fall-through
+edge leaves the program).  The pipeline must treat such candidates as unsafe
+and keep going — never crash.  These tests pin that behaviour down (it
+regressed once: the equivalence cache's canonicalization used to raise
+``CfgError`` on such candidates and abort the whole search).
+"""
+
+import random
+
+import pytest
+
+from repro.bpf import builders
+from repro.bpf.cfg import CfgError, build_cfg
+from repro.bpf.hooks import HookType
+from repro.bpf.instruction import NOP
+from repro.bpf.opcodes import JmpOp
+from repro.bpf.program import BpfProgram
+from repro.corpus import get_benchmark
+from repro.equivalence import EquivalenceCache
+from repro.safety import SafetyChecker
+from repro.synthesis.mcmc import MarkovChain
+from repro.synthesis.proposals import ProposalGenerator
+
+
+def _dangling_jump_program() -> BpfProgram:
+    """A candidate whose final instruction is a conditional jump: its
+    fall-through target is one past the end of the program."""
+    source = get_benchmark("xdp_exception").program()
+    insns = list(source.instructions)
+    insns[-1] = builders.JEQ_IMM(1, 0, 0)
+    return source.with_instructions(insns)
+
+
+class TestBrokenCandidates:
+    def test_cfg_rejects_dangling_jump(self):
+        with pytest.raises(CfgError):
+            build_cfg(_dangling_jump_program().instructions)
+
+    def test_cache_canonicalization_does_not_raise(self):
+        cache = EquivalenceCache()
+        assert cache.lookup(_dangling_jump_program()) is None
+
+    def test_safety_checker_flags_dangling_jump(self):
+        result = SafetyChecker().check(_dangling_jump_program())
+        assert not result.safe
+
+    def test_chain_survives_evaluating_broken_candidate(self):
+        source = get_benchmark("xdp_exception").program()
+        chain = MarkovChain(source, seed=5)
+        cost, _ = chain._evaluate(_dangling_jump_program())
+        assert cost > 0
+
+
+class TestProposalStream:
+    """Long proposal streams never crash the cache or the safety checker."""
+
+    @pytest.mark.parametrize("benchmark_name", ["xdp_exception", "xdp_pktcntr",
+                                                "sys_enter_open"])
+    def test_proposals_are_always_analyzable(self, benchmark_name):
+        source = get_benchmark(benchmark_name).program()
+        generator = ProposalGenerator(source, random.Random(123))
+        cache = EquivalenceCache()
+        checker = SafetyChecker()
+        current = list(source.instructions)
+        for _ in range(300):
+            current = generator.propose(current)
+            candidate = source.with_instructions(current)
+            # Neither call may raise, whatever the proposal looks like.
+            cache.lookup(candidate)
+            checker.check(candidate)
+
+    def test_chain_runs_on_every_small_benchmark(self):
+        for name in ["xdp_exception", "xdp_redirect_err", "xdp_pktcntr"]:
+            source = get_benchmark(name).program()
+            result = MarkovChain(source, seed=9).run(iterations=150)
+            assert result.statistics.iterations == 150
+
+    def test_nop_only_proposals_handled(self):
+        source = get_benchmark("xdp_exception").program()
+        all_nops = source.with_instructions([NOP] * len(source.instructions))
+        assert not SafetyChecker().check(all_nops).safe
+        assert EquivalenceCache().lookup(all_nops) is None

@@ -1,0 +1,214 @@
+"""Tests for the safety checker (§6) and the kernel-checker model."""
+
+import pytest
+
+from repro.bpf import BpfProgram, HookType, assemble, get_hook
+from repro.bpf.maps import MapDef, MapEnvironment, MapType
+from repro.safety import SafetyChecker, SafetyViolationKind
+from repro.verifier import KernelChecker
+
+
+def prog(text, maps=None, hook=HookType.XDP):
+    return BpfProgram(instructions=assemble(text), hook=get_hook(hook),
+                      maps=maps or MapEnvironment(), name="prog")
+
+
+def _maps():
+    return MapEnvironment([MapDef(fd=1, name="m", map_type=MapType.ARRAY,
+                                  key_size=4, value_size=8, max_entries=4)])
+
+
+SAFE_PARSER = """
+    mov64 r0, 2
+    ldxw r2, [r1+0]
+    ldxw r3, [r1+4]
+    mov64 r4, r2
+    add64 r4, 14
+    jgt r4, r3, +2
+    ldxb r5, [r2+12]
+    mov64 r0, 1
+    exit
+"""
+
+
+class TestSafetyChecker:
+    def setup_method(self):
+        self.checker = SafetyChecker()
+
+    def violation_kinds(self, program):
+        return {v.kind for v in self.checker.check(program).violations}
+
+    def test_safe_parser_accepted(self):
+        assert self.checker.check(prog(SAFE_PARSER)).safe
+
+    def test_loop_rejected(self):
+        kinds = self.violation_kinds(prog("mov64 r0, 0\nadd64 r0, 1\n"
+                                          "jlt r0, 5, -2\nexit"))
+        assert SafetyViolationKind.LOOP in kinds
+
+    def test_unreachable_code_rejected(self):
+        kinds = self.violation_kinds(prog("mov64 r0, 0\nja +1\nmov64 r0, 9\nexit"))
+        assert SafetyViolationKind.UNREACHABLE_CODE in kinds
+
+    def test_unreachable_nop_padding_tolerated(self):
+        assert self.checker.check(prog("mov64 r0, 0\nja +1\nja +0\nexit")).safe
+
+    def test_missing_exit_rejected(self):
+        kinds = self.violation_kinds(prog("mov64 r0, 0\nmov64 r1, 1"))
+        assert SafetyViolationKind.MALFORMED in kinds
+
+    def test_packet_access_without_bounds_check(self):
+        kinds = self.violation_kinds(prog("ldxw r2, [r1+0]\nldxb r0, [r2+0]\nexit"))
+        assert SafetyViolationKind.OUT_OF_BOUNDS in kinds
+
+    def test_packet_access_beyond_checked_bound(self):
+        text = SAFE_PARSER.replace("ldxb r5, [r2+12]", "ldxb r5, [r2+20]")
+        kinds = self.violation_kinds(prog(text))
+        assert SafetyViolationKind.OUT_OF_BOUNDS in kinds
+
+    def test_stack_out_of_bounds(self):
+        kinds = self.violation_kinds(prog("mov64 r2, 1\nstxdw [r10+8], r2\n"
+                                          "mov64 r0, 0\nexit"))
+        assert SafetyViolationKind.OUT_OF_BOUNDS in kinds
+
+    def test_stack_read_before_write(self):
+        kinds = self.violation_kinds(prog("ldxdw r0, [r10-8]\nexit"))
+        assert SafetyViolationKind.UNINITIALIZED_READ in kinds
+
+    def test_misaligned_stack_access(self):
+        kinds = self.violation_kinds(prog("mov64 r2, 1\nstxdw [r10-12], r2\n"
+                                          "mov64 r0, 0\nexit"))
+        assert SafetyViolationKind.MISALIGNED_ACCESS in kinds
+
+    def test_uninitialized_register_read(self):
+        kinds = self.violation_kinds(prog("mov64 r0, r7\nexit"))
+        assert SafetyViolationKind.UNINITIALIZED_READ in kinds
+
+    def test_registers_clobbered_after_call(self):
+        kinds = self.violation_kinds(prog("mov64 r3, 1\n"
+                                          "call bpf_get_smp_processor_id\n"
+                                          "mov64 r0, r3\nexit"))
+        assert SafetyViolationKind.UNINITIALIZED_READ in kinds
+
+    def test_unchecked_map_lookup_dereference(self):
+        text = """
+        mov64 r6, 0
+        stxw [r10-4], r6
+        mov64 r2, r10
+        add64 r2, -4
+        ld_map_fd r1, 1
+        call bpf_map_lookup_elem
+        ldxdw r0, [r0+0]
+        exit
+        """
+        kinds = self.violation_kinds(prog(text, _maps()))
+        assert SafetyViolationKind.NULL_DEREFERENCE in kinds
+
+    def test_checked_map_lookup_accepted(self):
+        text = """
+        mov64 r6, 0
+        stxw [r10-4], r6
+        mov64 r2, r10
+        add64 r2, -4
+        ld_map_fd r1, 1
+        call bpf_map_lookup_elem
+        jeq r0, 0, +2
+        ldxdw r0, [r0+0]
+        exit
+        mov64 r0, 0
+        exit
+        """
+        assert self.checker.check(prog(text, _maps())).safe
+
+    def test_map_value_out_of_bounds(self):
+        text = """
+        mov64 r6, 0
+        stxw [r10-4], r6
+        mov64 r2, r10
+        add64 r2, -4
+        ld_map_fd r1, 1
+        call bpf_map_lookup_elem
+        jeq r0, 0, +2
+        ldxdw r0, [r0+8]
+        exit
+        mov64 r0, 0
+        exit
+        """
+        kinds = self.violation_kinds(prog(text, _maps()))
+        assert SafetyViolationKind.OUT_OF_BOUNDS in kinds
+
+    def test_store_to_ctx_rejected(self):
+        kinds = self.violation_kinds(prog("mov64 r2, 1\nstxw [r1+12], r2\n"
+                                          "mov64 r0, 0\nexit"))
+        assert SafetyViolationKind.CTX_STORE in kinds
+
+    def test_pointer_arithmetic_rejected(self):
+        kinds = self.violation_kinds(prog("mov64 r2, r1\nmul64 r2, 4\n"
+                                          "mov64 r0, 0\nexit"))
+        assert SafetyViolationKind.POINTER_ARITHMETIC in kinds
+
+    def test_pointer_leak_via_r0(self):
+        kinds = self.violation_kinds(prog("mov64 r0, r10\nexit"))
+        assert SafetyViolationKind.POINTER_LEAK in kinds
+
+    def test_write_to_r10_rejected(self):
+        kinds = self.violation_kinds(prog("mov64 r10, 4\nmov64 r0, 0\nexit"))
+        assert SafetyViolationKind.READ_ONLY_REGISTER in kinds
+
+    def test_bad_xdp_return_value(self):
+        kinds = self.violation_kinds(prog("mov64 r0, 77\nexit"))
+        assert SafetyViolationKind.BAD_RETURN_VALUE in kinds
+
+    def test_counterexamples_produced_for_unsafe_programs(self):
+        result = self.checker.check(prog("ldxw r2, [r1+0]\nldxb r0, [r2+0]\nexit"))
+        assert not result.safe
+        assert result.counterexamples
+
+
+class TestKernelChecker:
+    def setup_method(self):
+        self.checker = KernelChecker()
+
+    def test_accepts_safe_program(self):
+        verdict = self.checker.load(prog(SAFE_PARSER))
+        assert verdict.accepted
+        assert verdict.insns_processed > 0
+
+    def test_rejects_unsafe_program(self):
+        assert not self.checker.load(prog("ldxw r2, [r1+0]\n"
+                                          "ldxb r0, [r2+0]\nexit")).accepted
+
+    def test_rejects_programs_over_instruction_limit(self):
+        checker = KernelChecker(insn_limit=4)
+        assert not checker.load(prog("mov64 r0, 0\nmov64 r1, 1\nmov64 r2, 2\n"
+                                     "mov64 r3, 3\nexit")).accepted
+
+    def test_complexity_limit_rejects_branchy_programs(self):
+        # Many independent branches explode the number of paths examined.
+        lines = []
+        for _ in range(12):
+            lines += ["jeq r1, 0, +1", "mov64 r2, 1"]
+        lines += ["mov64 r0, 0", "exit"]
+        checker = KernelChecker(complexity_limit=50)
+        verdict = checker.load(prog("\n".join(lines)))
+        assert not verdict.accepted
+        assert "too large" in verdict.reason
+
+    def test_path_sensitive_acceptance(self):
+        # A program safe on every path even though a join would lose precision.
+        text = """
+        mov64 r0, 2
+        ldxw r2, [r1+0]
+        ldxw r3, [r1+4]
+        jeq r2, r3, +4
+        mov64 r4, r2
+        add64 r4, 2
+        jgt r4, r3, +1
+        ldxb r0, [r2+1]
+        exit
+        """
+        assert self.checker.load(prog(text)).accepted
+
+    def test_reports_paths_explored(self):
+        verdict = self.checker.load(prog(SAFE_PARSER))
+        assert verdict.paths_explored >= 1

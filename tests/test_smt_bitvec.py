@@ -1,0 +1,162 @@
+"""Tests for the bit-vector expression layer: construction and simplification."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.smt import (
+    FALSE, TRUE, bool_and, bool_implies, bool_not, bool_or, bv_add, bv_and,
+    bv_concat, bv_const, bv_eq, bv_extract, bv_ite, bv_lshr, bv_mul, bv_ne,
+    bv_neg, bv_not, bv_or, bv_shl, bv_sign_extend, bv_slt, bv_sub, bv_udiv,
+    bv_ule, bv_ult, bv_urem, bv_var, bv_xor, bv_zero_extend, collect_vars,
+    evaluate, substitute,
+)
+
+X = bv_var("x", 64)
+Y = bv_var("y", 64)
+
+
+class TestConstruction:
+    def test_constants_are_masked(self):
+        assert bv_const(-1, 8).value == 0xFF
+        assert bv_const(0x1FF, 8).value == 0xFF
+
+    def test_interning_gives_identical_objects(self):
+        assert bv_add(X, Y) is bv_add(X, Y)
+        assert bv_const(5, 64) is bv_const(5, 64)
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            bv_add(X, bv_var("z", 32))
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            bv_const(1, 0)
+
+    def test_operator_sugar(self):
+        assert (X + Y) == bv_add(X, Y)
+        assert (X & 0xFF) == bv_and(X, bv_const(0xFF, 64))
+        assert X.eq(Y) == bv_eq(X, Y)
+
+
+class TestSimplification:
+    def test_constant_folding(self):
+        assert bv_add(bv_const(3, 64), bv_const(4, 64)) == bv_const(7, 64)
+        assert bv_mul(bv_const(3, 8), bv_const(100, 8)) == bv_const(300 & 0xFF, 8)
+
+    def test_add_zero_identity(self):
+        assert bv_add(X, bv_const(0, 64)) == X
+        assert bv_add(bv_const(0, 64), X) == X
+
+    def test_add_constant_reassociation(self):
+        expr = bv_add(bv_add(X, bv_const(3, 64)), bv_const(4, 64))
+        assert expr == bv_add(X, bv_const(7, 64))
+
+    def test_sub_self_is_zero(self):
+        assert bv_sub(X, X) == bv_const(0, 64)
+
+    def test_and_or_identities(self):
+        ones = bv_const((1 << 64) - 1, 64)
+        assert bv_and(X, ones) == X
+        assert bv_and(X, bv_const(0, 64)) == bv_const(0, 64)
+        assert bv_or(X, bv_const(0, 64)) == X
+        assert bv_xor(X, X) == bv_const(0, 64)
+
+    def test_mul_by_power_of_two_becomes_shift(self):
+        assert bv_mul(X, bv_const(8, 64)) == bv_shl(X, bv_const(3, 64))
+
+    def test_udiv_urem_by_power_of_two(self):
+        assert bv_udiv(X, bv_const(16, 64)) == bv_lshr(X, bv_const(4, 64))
+        assert bv_urem(X, bv_const(16, 64)) == bv_and(X, bv_const(15, 64))
+
+    def test_div_by_zero_constant_semantics(self):
+        assert bv_udiv(bv_const(9, 64), bv_const(0, 64)) == bv_const(0, 64)
+        assert bv_urem(bv_const(9, 64), bv_const(0, 64)) == bv_const(9, 64)
+
+    def test_eq_reflexive(self):
+        assert bv_eq(X, X) == TRUE
+        assert bv_eq(bv_const(1, 8), bv_const(2, 8)) == FALSE
+
+    def test_ite_simplification(self):
+        assert bv_ite(TRUE, X, Y) == X
+        assert bv_ite(FALSE, X, Y) == Y
+        assert bv_ite(bv_eq(X, Y), X, X) == X
+
+    def test_not_not_elimination(self):
+        assert bool_not(bool_not(bv_ult(X, Y))) == bv_ult(X, Y)
+        assert bv_not(bv_not(X)) == X
+
+    def test_bool_and_or_flattening(self):
+        a, b = bv_ult(X, Y), bv_ult(Y, X)
+        assert bool_and(a, TRUE) == a
+        assert bool_and(a, FALSE) == FALSE
+        assert bool_or(a, TRUE) == TRUE
+        assert bool_and(bool_and(a, b), a) == bool_and(a, b)
+
+    def test_extract_of_concat(self):
+        combined = bv_concat(X, Y)  # x is high, y is low
+        assert bv_extract(combined, 63, 0) == Y
+        assert bv_extract(combined, 127, 64) == X
+
+    def test_extract_of_zero_extend(self):
+        narrow = bv_var("n", 32)
+        wide = bv_zero_extend(narrow, 32)
+        assert bv_extract(wide, 31, 0) == narrow
+        assert bv_extract(wide, 63, 32) == bv_const(0, 32)
+
+    def test_extract_range_validation(self):
+        with pytest.raises(ValueError):
+            bv_extract(X, 64, 0)
+
+    def test_ult_with_zero(self):
+        assert bv_ult(X, bv_const(0, 64)) == FALSE
+        assert bv_ule(X, X) == TRUE
+
+    def test_implies(self):
+        assert bool_implies(FALSE, bv_ult(X, Y)) == TRUE
+        assert bool_implies(TRUE, bv_ult(X, Y)) == bv_ult(X, Y)
+
+
+class TestEvaluateAndSubstitute:
+    def test_evaluate_arithmetic(self):
+        expr = bv_add(bv_mul(X, bv_const(3, 64)), Y)
+        assert evaluate(expr, {"x": 5, "y": 2}) == 17
+
+    def test_evaluate_signed_comparison(self):
+        expr = bv_slt(X, bv_const(0, 64))
+        assert evaluate(expr, {"x": (1 << 64) - 1}) is True
+        assert evaluate(expr, {"x": 1}) is False
+
+    def test_evaluate_missing_variable_defaults_to_zero(self):
+        assert evaluate(X, {}) == 0
+
+    def test_substitute_variable(self):
+        expr = bv_add(X, Y)
+        result = substitute(expr, {X: bv_const(4, 64)})
+        assert result == bv_add(Y, bv_const(4, 64))
+
+    def test_substitute_triggers_resimplification(self):
+        expr = bv_add(X, Y)
+        result = substitute(expr, {X: bv_const(1, 64), Y: bv_const(2, 64)})
+        assert result == bv_const(3, 64)
+
+    def test_collect_vars(self):
+        expr = bool_and(bv_ult(X, Y), bv_eq(X, bv_const(3, 64)))
+        assert collect_vars(expr) == {X, Y}
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(0, (1 << 64) - 1), st.integers(0, (1 << 64) - 1))
+    def test_property_simplifier_preserves_semantics(self, xv, yv):
+        env = {"x": xv, "y": yv}
+        pairs = [
+            (bv_add(X, Y), (xv + yv) & ((1 << 64) - 1)),
+            (bv_sub(X, Y), (xv - yv) & ((1 << 64) - 1)),
+            (bv_and(X, Y), xv & yv),
+            (bv_or(X, Y), xv | yv),
+            (bv_xor(X, Y), xv ^ yv),
+            (bv_mul(X, bv_const(4, 64)), (xv * 4) & ((1 << 64) - 1)),
+            (bv_neg(X), (-xv) & ((1 << 64) - 1)),
+            (bv_ult(X, Y), xv < yv),
+            (bv_ule(X, Y), xv <= yv),
+        ]
+        for expr, expected in pairs:
+            assert evaluate(expr, env) == expected
