@@ -7,19 +7,24 @@ Table 1.  Laptop-scale iteration budgets mean the compression percentages are
 smaller than the paper's (see EXPERIMENTS.md).
 """
 
+import os
+
 import pytest
 
 from harness import (DEFAULT_ITERATIONS, DEFAULT_SETTINGS, SMALL_BENCHMARKS,
                      print_table, run_search)
 
 BENCHMARKS = SMALL_BENCHMARKS[:6] + ["xdp_devmap_xmit"]
+#: Set K2_BENCH_WORKERS=N to run each benchmark's chains on a process pool.
+NUM_WORKERS = int(os.environ.get("K2_BENCH_WORKERS", "1"))
 
 
 def _run_all():
     rows = []
     for name in BENCHMARKS:
         source, result = run_search(name, iterations=DEFAULT_ITERATIONS,
-                                    num_settings=DEFAULT_SETTINGS)
+                                    num_settings=DEFAULT_SETTINGS,
+                                    num_workers=NUM_WORKERS)
         best = result.search.best
         rows.append([
             name,

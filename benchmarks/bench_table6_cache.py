@@ -2,20 +2,30 @@
 
 Runs the search with caching enabled and reports, per benchmark, how many
 equivalence queries hit the cache versus how many reached the checker,
-reproducing the hit-rate column of Table 6.
+reproducing the hit-rate column of Table 6.  A second table exercises the
+parallel engine's *shared* cache: a multi-chain search with a sync interval
+whose aggregate statistics (merged coherently across chains) show the
+cross-chain hits and counterexample sharing on top of the per-chain rates.
 """
+
+import os
 
 import pytest
 
-from repro.bpf.program import BpfProgram
 from repro.corpus import get_benchmark
 from repro.synthesis import MarkovChain, TestSuite
 
-from harness import print_table
+from harness import print_table, run_search
 
 BENCHMARKS = ["xdp_exception", "sys_enter_open", "xdp_pktcntr",
               "xdp_map_access", "from-network"]
 ITERATIONS = 1500
+SHARED_BENCHMARKS = ["xdp_exception", "xdp_pktcntr"]
+SHARED_ITERATIONS = 600
+SHARED_SETTINGS = 2
+SHARED_SYNC_INTERVAL = 150
+#: Set K2_BENCH_WORKERS=N to run the shared-cache bench on a process pool.
+NUM_WORKERS = int(os.environ.get("K2_BENCH_WORKERS", "1"))
 
 
 def _run_all():
@@ -38,7 +48,37 @@ def _run_all():
     return rows
 
 
+def _run_shared():
+    rows = []
+    for name in SHARED_BENCHMARKS:
+        _, compiled = run_search(name, iterations=SHARED_ITERATIONS,
+                                 num_settings=SHARED_SETTINGS, seed=3,
+                                 num_workers=NUM_WORKERS,
+                                 sync_interval=SHARED_SYNC_INTERVAL)
+        result = compiled.search
+        stats = result.cache_stats
+        rows.append([
+            name, len(result.chain_results), result.num_generations,
+            int(stats["hits"]), int(stats["misses"]),
+            f"{stats['hit_rate']:.0%}", int(stats["cross_chain_hits"]),
+            result.counterexamples_shared,
+        ])
+    print_table("Table 6b: shared cache across parallel chains",
+                ["benchmark", "chains", "generations", "hits", "misses",
+                 "hit rate", "cross-chain hits", "cex shared"], rows)
+    return rows
+
+
 @pytest.mark.benchmark(group="table6")
 def test_table6_cache_effectiveness(benchmark):
     rows = benchmark.pedantic(_run_all, rounds=1, iterations=1)
     assert len(rows) == len(BENCHMARKS)
+
+
+@pytest.mark.benchmark(group="table6")
+def test_table6b_shared_cache(benchmark):
+    rows = benchmark.pedantic(_run_shared, rounds=1, iterations=1)
+    assert len(rows) == len(SHARED_BENCHMARKS)
+    for row in rows:
+        hits, misses = row[3], row[4]
+        assert hits + misses > 0

@@ -3,6 +3,10 @@
 Runs a short instruction-count search per (benchmark, parameter setting)
 pair and reports the smallest verified program each setting found, marking
 the per-benchmark minimum with a ``*`` as Table 9 does.
+
+Each per-setting search is a single chain, so the parallel engine has
+nothing to fan out here; the multi-chain benches (Tables 1 and 6b) are the
+ones that honour ``K2_BENCH_WORKERS``.
 """
 
 import pytest

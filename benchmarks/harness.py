@@ -40,11 +40,21 @@ def run_search(benchmark_name: str,
                num_settings: int = DEFAULT_SETTINGS,
                goal: OptimizationGoal = OptimizationGoal.INSTRUCTION_COUNT,
                seed: int = 1,
-               settings: Optional[List[ParameterSetting]] = None):
-    """Run the K2 search on one corpus benchmark and return (source, result)."""
+               settings: Optional[List[ParameterSetting]] = None,
+               num_workers: int = 1,
+               executor: str = "auto",
+               sync_interval: Optional[int] = None):
+    """Run the K2 search on one corpus benchmark and return (source, result).
+
+    ``num_workers``/``executor``/``sync_interval`` select the parallel
+    engine's dispatch backend and cross-chain sharing cadence; the defaults
+    keep the benches sequential and deterministic.
+    """
     source = get_benchmark(benchmark_name).program()
     compiler = K2Compiler(goal=goal, iterations_per_chain=iterations,
-                          num_parameter_settings=num_settings, seed=seed)
+                          num_parameter_settings=num_settings, seed=seed,
+                          num_workers=num_workers, executor=executor,
+                          sync_interval=sync_interval)
     result = compiler.optimize(source, settings=settings)
     return source, result
 

@@ -38,7 +38,9 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     goal = OptimizationGoal.LATENCY if args.goal == "latency" \
         else OptimizationGoal.INSTRUCTION_COUNT
     compiler = K2Compiler(goal=goal, iterations_per_chain=args.iterations,
-                          num_parameter_settings=args.settings, seed=args.seed)
+                          num_parameter_settings=args.settings, seed=args.seed,
+                          num_workers=args.num_workers, executor=args.executor,
+                          sync_interval=args.sync_interval)
     result = compiler.optimize(program)
     print(result.summary())
     print()
@@ -76,20 +78,53 @@ def main(argv=None) -> int:
 
     optimize = sub.add_parser("optimize", help="optimize a BPF assembly file")
     optimize.add_argument("program", nargs="?", help="path to a .s assembly file")
-    optimize.add_argument("--benchmark", help="optimize a corpus benchmark instead")
+    optimize.add_argument("--benchmark", metavar="NAME",
+                          help="optimize a corpus benchmark (see `k2 corpus`) "
+                               "instead of an assembly file")
     optimize.add_argument("--hook", default="xdp",
-                          choices=[h.value for h in HookType])
-    optimize.add_argument("--goal", default="size", choices=["size", "latency"])
-    optimize.add_argument("--iterations", type=int, default=2000)
-    optimize.add_argument("--settings", type=int, default=4)
-    optimize.add_argument("--seed", type=int, default=0)
+                          choices=[h.value for h in HookType],
+                          help="BPF hook the program attaches to "
+                               "(default: %(default)s)")
+    optimize.add_argument("--goal", default="size", choices=["size", "latency"],
+                          help="optimize for fewer instructions (size) or for "
+                               "estimated latency (default: %(default)s)")
+    optimize.add_argument("--iterations", type=int, default=2000,
+                          metavar="N",
+                          help="MCMC proposals per Markov chain "
+                               "(default: %(default)s)")
+    optimize.add_argument("--settings", type=int, default=4, metavar="K",
+                          help="number of Table 8 parameter settings, i.e. "
+                               "chains, to search (default: %(default)s)")
+    optimize.add_argument("--seed", type=int, default=0, metavar="SEED",
+                          help="RNG seed; identical seeds reproduce identical "
+                               "results (default: %(default)s)")
+    optimize.add_argument("--num-workers", type=int, default=1, metavar="N",
+                          help="worker processes to run chains in parallel; "
+                               "1 keeps the search in-process and sequential "
+                               "(default: %(default)s)")
+    optimize.add_argument("--executor", default="auto",
+                          choices=["auto", "serial", "process", "thread"],
+                          help="executor backend for dispatching chains: auto "
+                               "picks a process pool when --num-workers > 1 "
+                               "and the deterministic serial executor "
+                               "otherwise (default: %(default)s)")
+    optimize.add_argument("--sync-interval", type=int, default=None,
+                          metavar="N",
+                          help="iterations between cross-chain sharing points "
+                               "(equivalence-cache entries and "
+                               "counterexamples); omit to run each chain to "
+                               "completion without mid-run sharing")
     optimize.set_defaults(func=_cmd_optimize)
 
     check = sub.add_parser("check", help="run the safety and kernel checkers")
-    check.add_argument("program", nargs="?")
-    check.add_argument("--benchmark")
+    check.add_argument("program", nargs="?", help="path to a .s assembly file")
+    check.add_argument("--benchmark", metavar="NAME",
+                       help="check a corpus benchmark (see `k2 corpus`) "
+                            "instead of an assembly file")
     check.add_argument("--hook", default="xdp",
-                       choices=[h.value for h in HookType])
+                       choices=[h.value for h in HookType],
+                       help="BPF hook the program attaches to "
+                            "(default: %(default)s)")
     check.set_defaults(func=_cmd_check)
 
     corpus = sub.add_parser("corpus", help="list the benchmark corpus")

@@ -89,8 +89,18 @@ class CompilationResult:
             f"{DEFAULT_LATENCY_MODEL.program_cost(self.optimized):.1f}ns",
             f"kernel check:  {'accepted' if self.kernel_checker_verdict else 'REJECTED'}",
             f"search:        {self.search.total_iterations()} iterations, "
-            f"{self.search.elapsed_seconds:.1f}s",
+            f"{self.search.elapsed_seconds:.1f}s "
+            f"({len(self.search.chain_results)} chains, "
+            f"{self.search.executor_used} executor)",
         ]
+        cache = self.search.cache_stats
+        if cache:
+            lines.append(
+                f"eq-cache:      {cache['hits']:.0f} hits / "
+                f"{cache['misses']:.0f} misses "
+                f"({100.0 * cache['hit_rate']:.0f}% hit rate, "
+                f"{cache['cross_chain_hits']:.0f} cross-chain), "
+                f"{self.search.counterexamples_shared} counterexamples shared")
         return "\n".join(lines)
 
 
@@ -103,6 +113,9 @@ class K2Compiler:
                  top_k: Optional[int] = None,
                  seed: int = 0,
                  time_budget_seconds: Optional[float] = None,
+                 num_workers: int = 1,
+                 executor: str = "auto",
+                 sync_interval: Optional[int] = None,
                  options: Optional[SearchOptions] = None):
         if options is None:
             options = SearchOptions(
@@ -112,7 +125,10 @@ class K2Compiler:
                 top_k=top_k if top_k is not None else (
                     1 if goal == OptimizationGoal.INSTRUCTION_COUNT else 5),
                 seed=seed,
-                time_budget_seconds=time_budget_seconds)
+                time_budget_seconds=time_budget_seconds,
+                num_workers=num_workers,
+                executor=executor,
+                sync_interval=sync_interval)
         self.options = options
         self.kernel_checker = KernelChecker()
 

@@ -5,6 +5,15 @@ structurally similar — often differing only in dead instructions.  K2
 canonicalizes each candidate by removing dead code and caches the outcome of
 equivalence-checking the canonical form, eliminating the vast majority of
 solver calls (93%+ hit rates in Table 6).
+
+The cache is also the sharing channel of the parallel multi-chain engine
+(:mod:`repro.synthesis.parallel`): worker chains are seeded with a snapshot
+of the controller's shared entries (:meth:`EquivalenceCache.seed`) and their
+discoveries are merged back between generations
+(:meth:`EquivalenceCache.merge`).  Entries received from another chain are
+tracked as *foreign* so hits on them can be reported separately
+(``cross_chain_hits``), and :meth:`merge` accumulates ``hits``/``misses``
+so the aggregate statistics stay coherent across chains.
 """
 
 from __future__ import annotations
@@ -23,9 +32,11 @@ class EquivalenceCache:
 
     def __init__(self, max_entries: int = 1_000_000):
         self._entries: Dict[Tuple, EquivalenceResult] = {}
+        self._foreign: set = set()
         self._max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.cross_chain_hits = 0
 
     # ------------------------------------------------------------------ #
     @staticmethod
@@ -54,6 +65,8 @@ class EquivalenceCache:
         result = self._entries.get(key)
         if result is not None:
             self.hits += 1
+            if key in self._foreign:
+                self.cross_chain_hits += 1
         else:
             self.misses += 1
         return result
@@ -62,6 +75,55 @@ class EquivalenceCache:
         if len(self._entries) >= self._max_entries:
             return
         self._entries[self.canonicalize(program)] = result
+
+    # ------------------------------------------------------------------ #
+    # Cross-chain sharing (parallel search engine).
+    def export_entries(self) -> Dict[Tuple, EquivalenceResult]:
+        """A picklable snapshot of every entry, for seeding worker chains."""
+        return dict(self._entries)
+
+    def local_entries(self) -> Dict[Tuple, EquivalenceResult]:
+        """Only the entries this cache discovered itself (not seeded ones)."""
+        return {key: value for key, value in self._entries.items()
+                if key not in self._foreign}
+
+    def seed(self, entries: Dict[Tuple, EquivalenceResult],
+             foreign: bool = True) -> int:
+        """Insert ``entries`` that are not already present.
+
+        With ``foreign=True`` (a worker receiving the controller's shared
+        snapshot) the inserted keys are tracked so later hits on them count
+        as ``cross_chain_hits``.  Keys the cache already holds are left
+        untouched, so a chain never sees its own discoveries as foreign.
+        Returns the number of entries inserted.
+        """
+        inserted = 0
+        for key, value in entries.items():
+            if len(self._entries) >= self._max_entries:
+                break
+            if key in self._entries:
+                continue
+            self._entries[key] = value
+            if foreign:
+                self._foreign.add(key)
+            inserted += 1
+        return inserted
+
+    def merge(self, other: "EquivalenceCache",
+              include_counters: bool = True) -> None:
+        """Merge a worker cache back into this (controller) cache.
+
+        Only the worker's *local* discoveries are unioned in — entries it was
+        seeded with are already here.  With ``include_counters`` the worker's
+        ``hits``/``misses``/``cross_chain_hits`` are accumulated so aggregate
+        statistics survive the merge path (each chain's counters would
+        otherwise stay siloed in its own cache object).
+        """
+        self.seed(other.local_entries(), foreign=False)
+        if include_counters:
+            self.hits += other.hits
+            self.misses += other.misses
+            self.cross_chain_hits += other.cross_chain_hits
 
     # ------------------------------------------------------------------ #
     @property
@@ -75,4 +137,5 @@ class EquivalenceCache:
 
     def stats(self) -> Dict[str, float]:
         return {"hits": self.hits, "misses": self.misses,
+                "cross_chain_hits": self.cross_chain_hits,
                 "entries": self.num_entries, "hit_rate": self.hit_rate}

@@ -11,6 +11,10 @@ from .params import (
     best_parameter_settings,
 )
 from .mcmc import ChainResult, ChainStatistics, MarkovChain, VerifiedCandidate
+from .executors import SerialExecutor, create_executor, resolve_executor_kind
+from .parallel import (
+    ChainController, ChainWorkUnit, ChainWorkUnitResult, run_chain_generation,
+)
 from .search import SearchOptions, SearchResult, Synthesizer
 
 __all__ = [name for name in dir() if not name.startswith("_")]

@@ -33,7 +33,12 @@ __all__ = ["ChainStatistics", "VerifiedCandidate", "ChainResult", "MarkovChain"]
 
 @dataclasses.dataclass
 class ChainStatistics:
-    """Counters describing one chain's run (feed Tables 1, 6 and 9)."""
+    """Counters describing one chain's run (feed Tables 1, 6 and 9).
+
+    ``elapsed_seconds`` is the chain's cumulative wall clock: repeated
+    :meth:`MarkovChain.run` calls (the parallel engine runs each chain in
+    several *generations*) accumulate rather than overwrite it.
+    """
 
     iterations: int = 0
     proposals_accepted: int = 0
@@ -46,6 +51,12 @@ class ChainStatistics:
     best_found_at_iteration: Optional[int] = None
     best_found_at_seconds: Optional[float] = None
     elapsed_seconds: float = 0.0
+    #: Cache hits on entries discovered by *another* chain (parallel engine).
+    cross_chain_cache_hits: int = 0
+    #: Counterexamples received from other chains via the shared pool.
+    counterexamples_received: int = 0
+    #: Number of ``run()`` calls (generations) this chain has executed.
+    generations: int = 0
 
 
 @dataclasses.dataclass
@@ -98,6 +109,9 @@ class MarkovChain:
         self.lazy_safety = lazy_safety
         self.stats = ChainStatistics()
         self.verified: List[VerifiedCandidate] = []
+        #: Counterexamples this chain discovered itself (drained by the
+        #: parallel controller to share with sibling chains).
+        self.discovered_counterexamples: List = []
 
         self._current = list(source.instructions)
         self._current_cost = self._evaluate(self.source)[0]
@@ -105,17 +119,45 @@ class MarkovChain:
     # ------------------------------------------------------------------ #
     def run(self, iterations: int,
             time_budget_seconds: Optional[float] = None) -> ChainResult:
-        """Run the chain for ``iterations`` proposals (or until the budget)."""
+        """Run the chain for ``iterations`` proposals (or until the budget).
+
+        ``run`` may be called repeatedly: the chain resumes from its current
+        program, RNG state, test suite and cache, and the returned
+        :class:`ChainResult` is cumulative over every call so far.  The
+        parallel engine relies on this to run chains in generations.
+        """
         started = time.perf_counter()
         for _ in range(iterations):
             if time_budget_seconds is not None and \
                     time.perf_counter() - started > time_budget_seconds:
                 break
             self.step(started)
-        self.stats.elapsed_seconds = time.perf_counter() - started
+        self.stats.elapsed_seconds += time.perf_counter() - started
+        self.stats.generations += 1
+        self.stats.cross_chain_cache_hits = self.cache.cross_chain_hits
         ordered = sorted(self.verified, key=lambda c: c.perf_cost)
         return ChainResult(best=ordered[0] if ordered else None,
                            candidates=ordered, statistics=self.stats)
+
+    # ------------------------------------------------------------------ #
+    def receive_counterexamples(self, tests) -> int:
+        """Adopt counterexamples found by other chains (shared pool).
+
+        Duplicates already in the suite are ignored.  Returns the number of
+        tests actually added.
+        """
+        added = 0
+        for test in tests:
+            if self.tests.add_counterexample(test):
+                added += 1
+        self.stats.counterexamples_received += added
+        return added
+
+    def drain_discovered_counterexamples(self) -> List:
+        """Hand the chain's own new counterexamples to the controller."""
+        drained = self.discovered_counterexamples
+        self.discovered_counterexamples = []
+        return drained
 
     # ------------------------------------------------------------------ #
     def step(self, started: Optional[float] = None) -> None:
@@ -160,6 +202,7 @@ class MarkovChain:
                 for counterexample in safety_result.counterexamples[:1]:
                     if self.tests.add_counterexample(counterexample):
                         self.stats.counterexamples_added += 1
+                        self.discovered_counterexamples.append(counterexample)
 
         # Formal equivalence checking only when every test passes (§3.2) and
         # the candidate is structurally sound enough to encode.
@@ -170,6 +213,8 @@ class MarkovChain:
             if equivalence.counterexample is not None:
                 if self.tests.add_counterexample(equivalence.counterexample):
                     self.stats.counterexamples_added += 1
+                    self.discovered_counterexamples.append(
+                        equivalence.counterexample)
                     candidate_outputs = self.tests.run_candidate(candidate)
                     source_outputs = self.tests.source_outputs
             if equivalence.equivalent and safety_result is not None \
@@ -230,7 +275,9 @@ class MarkovChain:
 
         perf = performance_cost(self.source, candidate, self.settings,
                                 self.latency_model)
-        elapsed = (time.perf_counter() - started) if started else 0.0
+        # Cumulative wall clock: prior generations plus the current run().
+        elapsed = self.stats.elapsed_seconds + (
+            (time.perf_counter() - started) if started else 0.0)
         entry = VerifiedCandidate(
             program=candidate.with_instructions(remove_nops(candidate.instructions)),
             perf_cost=perf,

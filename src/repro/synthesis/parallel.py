@@ -1,0 +1,243 @@
+"""Parallel multi-chain synthesis: controller/worker orchestration.
+
+The paper launches one Markov chain per Table 8 parameter setting and
+attributes most of its wall-clock savings to pruning solver calls via
+caching (§5, Table 6).  This module runs those chains as independent,
+seeded work units dispatched over a :mod:`concurrent.futures` executor
+(:mod:`repro.synthesis.executors`), while letting the chains share
+discoveries through two channels:
+
+* a cross-chain :class:`~repro.equivalence.EquivalenceCache` keyed on
+  canonicalized programs — each worker cache is merged back into the
+  controller between generations, so a verdict computed by one chain
+  prunes solver calls in every other chain;
+* a counterexample pool — a test case found by one chain (from the
+  equivalence checker or the safety checker) is added to every other
+  chain's test suite, pruning non-equivalent candidates without any
+  solver involvement.
+
+Determinism
+-----------
+Sharing happens only at *generation* boundaries: each chain's iteration
+budget is split into chunks of ``SearchOptions.sync_interval`` proposals,
+and all shared state (cache entries, counterexample pool) is snapshotted
+once per generation, *before* any chain of that generation is dispatched.
+Every chain in a generation therefore sees the same snapshot, which makes
+the computation independent of dispatch order and executor backend: a
+process-pool run produces exactly the same candidates and statistics as a
+serial run (only wall-clock fields differ).  With the default single
+generation (``sync_interval=None``) the initial snapshot is empty and each
+chain behaves exactly like the original sequential engine.
+
+Chains are shipped to workers whole (a :class:`MarkovChain` pickles,
+including its RNG, test suite and cache) and shipped back mutated, so
+state carries across generations with no separate bookkeeping.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from ..bpf.program import BpfProgram
+from ..equivalence import EquivalenceCache
+from ..equivalence.checker import EquivalenceResult
+from ..interpreter import ProgramInput
+from .executors import create_executor, resolve_executor_kind
+from .mcmc import ChainResult, MarkovChain
+from .params import ParameterSetting
+from .testcases import TestSuite
+
+__all__ = ["ChainWorkUnit", "ChainWorkUnitResult", "run_chain_generation",
+           "ChainController"]
+
+
+@dataclasses.dataclass
+class ChainWorkUnit:
+    """One generation of one chain, self-contained and picklable."""
+
+    chain_index: int
+    chain: MarkovChain
+    iterations: int
+    time_budget_seconds: Optional[float]
+    shared_cache_entries: Dict[Tuple, EquivalenceResult]
+    shared_counterexamples: List[ProgramInput]
+
+
+@dataclasses.dataclass
+class ChainWorkUnitResult:
+    """What a worker sends back: the mutated chain plus its cumulative result."""
+
+    chain_index: int
+    chain: MarkovChain
+    result: ChainResult
+
+
+def run_chain_generation(unit: ChainWorkUnit) -> ChainWorkUnitResult:
+    """Execute one work unit (module-level so process pools can import it)."""
+    chain = unit.chain
+    if unit.shared_cache_entries and chain.equivalence_options.enable_cache:
+        chain.cache.seed(unit.shared_cache_entries, foreign=True)
+    if unit.shared_counterexamples:
+        chain.receive_counterexamples(unit.shared_counterexamples)
+    result = chain.run(unit.iterations,
+                       time_budget_seconds=unit.time_budget_seconds)
+    return ChainWorkUnitResult(chain_index=unit.chain_index, chain=chain,
+                               result=result)
+
+
+class ChainController:
+    """Fans chain generations out to an executor and aggregates shared state.
+
+    After :meth:`run` returns, ``shared_cache`` holds the union of every
+    chain's cache entries with coherent aggregate counters (hits/misses
+    accumulated across chains via :meth:`EquivalenceCache.merge`), and
+    ``counterexamples_shared`` counts the distinct tests that entered the
+    cross-chain pool.
+    """
+
+    def __init__(self, source: BpfProgram, settings: List[ParameterSetting],
+                 options):
+        self.source = source
+        self.settings = settings
+        self.options = options
+        self.executor_kind = resolve_executor_kind(
+            options.executor, options.num_workers)
+        self.shared_cache = EquivalenceCache()
+        self.num_generations = 0
+        #: (origin chain index, test) for every distinct shared counterexample.
+        self._pool: List[Tuple[int, ProgramInput]] = []
+        self._pool_keys: set = set()
+        #: Append-only log of shared cache entries, so each chain can be sent
+        #: only the delta since its last sync instead of the full snapshot.
+        self._cache_log: List[Tuple[Tuple, EquivalenceResult]] = []
+        self._cache_watermarks: List[int] = []
+        self._pool_watermarks: List[int] = []
+
+    # ------------------------------------------------------------------ #
+    @property
+    def counterexamples_shared(self) -> int:
+        return len(self._pool)
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> List[ChainResult]:
+        options = self.options
+        chains = [self._build_chain(index, setting)
+                  for index, setting in enumerate(self.settings)]
+        chain_budget = None
+        if options.time_budget_seconds is not None:
+            chain_budget = options.time_budget_seconds / len(self.settings)
+
+        generations = self._generation_schedule(options.iterations_per_chain)
+        self.num_generations = len(generations)
+        results: List[Optional[ChainResult]] = [None] * len(chains)
+        self._cache_watermarks = [0] * len(chains)
+        self._pool_watermarks = [0] * len(chains)
+
+        with create_executor(self.executor_kind, options.num_workers) as pool:
+            for generation, iterations in enumerate(generations):
+                # Shared state is frozen once per generation, before anything
+                # is dispatched: every chain sees the state as of the same
+                # point, so results are independent of dispatch order and
+                # backend.  Workers retain what they were seeded with, so
+                # each chain is sent only the delta since its last sync.
+                units = [
+                    ChainWorkUnit(
+                        chain_index=index,
+                        chain=chain,
+                        iterations=iterations,
+                        time_budget_seconds=self._remaining_budget(
+                            chain_budget, chain),
+                        shared_cache_entries=self._cache_delta_for(index),
+                        shared_counterexamples=self._pool_delta_for(index))
+                    for index, chain in enumerate(chains)]
+                futures = [pool.submit(run_chain_generation, unit)
+                           for unit in units]
+                outcomes = [future.result() for future in futures]
+                # Merge deterministically, in chain-index order.  Skip pool
+                # collection after the final generation: a counterexample
+                # that can never be delivered to a sibling was not shared.
+                last = generation == len(generations) - 1
+                for outcome in sorted(outcomes, key=lambda o: o.chain_index):
+                    chains[outcome.chain_index] = outcome.chain
+                    results[outcome.chain_index] = outcome.result
+                    self._absorb(outcome.chain_index, outcome.chain,
+                                 collect_counterexamples=not last)
+
+        for chain in chains:
+            self.shared_cache.merge(chain.cache, include_counters=True)
+        return [result for result in results if result is not None]
+
+    # ------------------------------------------------------------------ #
+    def _build_chain(self, index: int, setting: ParameterSetting) -> MarkovChain:
+        options = self.options
+        suite = TestSuite(self.source, num_initial=options.num_initial_tests,
+                          seed=options.seed + index)
+        return MarkovChain(
+            self.source,
+            cost_settings=setting.cost,
+            probabilities=setting.probabilities,
+            seed=options.seed * 1009 + index,
+            test_suite=suite,
+            equivalence_options=options.equivalence)
+
+    def _generation_schedule(self, iterations: int) -> List[int]:
+        interval = self.options.sync_interval
+        # Non-positive intervals mean "no mid-run sharing", same as None —
+        # never an empty schedule, which would silently run zero iterations.
+        if not interval or interval <= 0 or interval >= iterations:
+            return [iterations]
+        schedule = [interval] * (iterations // interval)
+        if iterations % interval:
+            schedule.append(iterations % interval)
+        return schedule
+
+    @staticmethod
+    def _remaining_budget(chain_budget: Optional[float],
+                          chain: MarkovChain) -> Optional[float]:
+        if chain_budget is None:
+            return None
+        return max(chain_budget - chain.stats.elapsed_seconds, 0.0)
+
+    # ------------------------------------------------------------------ #
+    def _cache_delta_for(self, chain_index: int
+                         ) -> Dict[Tuple, EquivalenceResult]:
+        """Shared entries added since this chain's last dispatch.
+
+        Chains keep everything they were seeded with (and skip keys they
+        already hold, including their own discoveries), so sending the log
+        suffix is equivalent to sending the full snapshot.
+        """
+        if not self.options.share_cache:
+            return {}
+        watermark = self._cache_watermarks[chain_index]
+        self._cache_watermarks[chain_index] = len(self._cache_log)
+        return dict(self._cache_log[watermark:])
+
+    def _pool_delta_for(self, chain_index: int) -> List[ProgramInput]:
+        """Pool entries from *other* chains since this chain's last dispatch."""
+        if not self.options.share_counterexamples:
+            return []
+        watermark = self._pool_watermarks[chain_index]
+        self._pool_watermarks[chain_index] = len(self._pool)
+        return [test for origin, test in self._pool[watermark:]
+                if origin != chain_index]
+
+    def _absorb(self, chain_index: int, chain: MarkovChain,
+                collect_counterexamples: bool = True) -> None:
+        """Fold one worker's discoveries back into the controller state."""
+        if self.options.share_cache:
+            for key, value in chain.cache.local_entries().items():
+                if self.shared_cache.seed({key: value}, foreign=False):
+                    self._cache_log.append((key, value))
+        discovered = chain.drain_discovered_counterexamples()
+        if not collect_counterexamples \
+                or not self.options.share_counterexamples \
+                or len(self._pool_watermarks) < 2:
+            return
+        for test in discovered:
+            key = test.freeze_key()
+            if key in self._pool_keys:
+                continue
+            self._pool_keys.add(key)
+            self._pool.append((chain_index, test))

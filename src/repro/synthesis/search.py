@@ -2,25 +2,29 @@
 
 K2 launches several Markov chains, one per parameter setting of Table 8,
 and returns the top-k best safe, formally-equivalent programs found across
-all of them.  The reproduction runs the chains sequentially (MCMC convergence
-depends on the number of proposals evaluated, not on wall-clock parallelism)
-and bounds each chain by an iteration count instead of a timeout so results
-are reproducible.
+all of them.  The chains run as independent, seeded work units dispatched
+over a :mod:`concurrent.futures` executor by the
+:class:`~repro.synthesis.parallel.ChainController` — a process pool when
+``num_workers > 1``, a deterministic in-process serial executor otherwise —
+and share discoveries through a cross-chain equivalence cache and a
+counterexample pool (see :mod:`repro.synthesis.parallel` for the
+determinism model).  Each chain is bounded by an iteration count instead of
+a timeout so results are reproducible.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import time
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from ..bpf.program import BpfProgram
 from ..equivalence import EquivalenceOptions
 from ..verifier import KernelChecker
 from .cost import PerformanceGoal
-from .mcmc import ChainResult, MarkovChain, VerifiedCandidate
+from .mcmc import ChainResult, VerifiedCandidate
 from .params import ParameterSetting, all_parameter_settings
-from .testcases import TestSuite
+from .parallel import ChainController
 
 __all__ = ["SearchOptions", "SearchResult", "Synthesizer"]
 
@@ -40,6 +44,21 @@ class SearchOptions:
         default_factory=EquivalenceOptions)
     #: Remove outputs rejected by the kernel-checker model (post-processing).
     kernel_checker_filter: bool = True
+    #: Worker processes/threads to dispatch chains over.  ``1`` keeps the
+    #: search in-process (serial executor) and fully sequential.
+    num_workers: int = 1
+    #: Executor backend: ``auto`` (process pool when ``num_workers > 1``,
+    #: serial otherwise), ``serial``, ``process`` or ``thread``.
+    executor: str = "auto"
+    #: Iterations per generation between cross-chain synchronisation points.
+    #: ``None`` (or any non-positive value) runs each chain to completion in
+    #: a single generation (no mid-run sharing — the original sequential
+    #: behaviour).
+    sync_interval: Optional[int] = None
+    #: Share equivalence-cache entries across chains at generation boundaries.
+    share_cache: bool = True
+    #: Share discovered counterexamples across chains at generation boundaries.
+    share_counterexamples: bool = True
 
 
 @dataclasses.dataclass
@@ -53,6 +72,15 @@ class SearchResult:
     settings_used: List[ParameterSetting]
     elapsed_seconds: float
     rejected_by_kernel_checker: int = 0
+    #: Aggregate equivalence-cache statistics across every chain, with
+    #: hits/misses accumulated coherently through the merge path.
+    cache_stats: Dict[str, float] = dataclasses.field(default_factory=dict)
+    #: Distinct counterexamples that entered the cross-chain pool.
+    counterexamples_shared: int = 0
+    #: Generations the controller ran (1 unless ``sync_interval`` was set).
+    num_generations: int = 1
+    #: Concrete executor backend the controller used.
+    executor_used: str = "serial"
 
     @property
     def best_program(self) -> BpfProgram:
@@ -65,6 +93,12 @@ class SearchResult:
             return 0.0
         original = self.source.num_real_instructions
         return (original - self.best.instruction_count) / original
+
+    @property
+    def per_chain_seconds(self) -> List[float]:
+        """Wall clock spent inside each chain, in settings order."""
+        return [result.statistics.elapsed_seconds
+                for result in self.chain_results]
 
     def total_iterations(self) -> int:
         return sum(result.statistics.iterations for result in self.chain_results)
@@ -87,22 +121,8 @@ class Synthesizer:
             settings = all_parameter_settings(options.goal)[
                 :options.num_parameter_settings]
 
-        chain_results: List[ChainResult] = []
-        for index, setting in enumerate(settings):
-            suite = TestSuite(source, num_initial=options.num_initial_tests,
-                              seed=options.seed + index)
-            chain = MarkovChain(
-                source,
-                cost_settings=setting.cost,
-                probabilities=setting.probabilities,
-                seed=options.seed * 1009 + index,
-                test_suite=suite,
-                equivalence_options=options.equivalence)
-            budget = None
-            if options.time_budget_seconds is not None:
-                budget = options.time_budget_seconds / len(settings)
-            chain_results.append(chain.run(options.iterations_per_chain,
-                                           time_budget_seconds=budget))
+        controller = ChainController(source, settings, options)
+        chain_results = controller.run()
 
         candidates = [candidate
                       for result in chain_results
@@ -127,7 +147,11 @@ class Synthesizer:
             chain_results=chain_results,
             settings_used=settings,
             elapsed_seconds=time.perf_counter() - started,
-            rejected_by_kernel_checker=rejected)
+            rejected_by_kernel_checker=rejected,
+            cache_stats=controller.shared_cache.stats(),
+            counterexamples_shared=controller.counterexamples_shared,
+            num_generations=controller.num_generations,
+            executor_used=controller.executor_kind)
 
     # ------------------------------------------------------------------ #
     @staticmethod
