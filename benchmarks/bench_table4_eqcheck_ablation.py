@@ -1,84 +1,161 @@
 """Table 4: equivalence-checking time as the §5 optimizations are turned off.
 
-For each benchmark we equivalence-check the source program against a
-dead-store-eliminated rewrite of itself (a candidate of the kind the search
-accepts), under three configurations:
+For each benchmark we build a small MCMC-like verification workload — for
+every eligible store instruction, a few single-window candidate rewrites
+(NOP the store, tweak its immediate, shift its offset) — and push every
+candidate through the tiered :class:`repro.verification.VerificationPipeline`
+under four configurations:
 
-* all optimizations on (window verification + offset concretization + cache),
-* no modular (window) verification — full-program formulas (ablates IV),
-* no memory-offset concretization — symbolic aliasing clauses (ablates III),
+* **all opts** — the full pipeline (replay → cache → window → full) with one
+  *incremental* solver session per source: the source encoding is blasted
+  once, each query runs in a push/pop scope, learned clauses carry over.
+* **fresh/query** — the same stage logic but with a fresh pipeline per query
+  (shared cache only): this reproduces the pre-refactor cost structure, where
+  every query re-executed the source symbolically and re-blasted everything
+  into a brand-new solver.  ``speedup = fresh / all opts`` is the headline
+  number for the incremental core (the acceptance bar is >= 1.3x).
+* **no modular** — ablates §5 IV: stages ``replay,cache,full`` only, so every
+  query pays the full-program formula.
+* **no offset concr.** — ablates §5 III on top of no-modular: symbolic
+  aliasing clauses instead of compile-time offsets.
 
-and reports the absolute times plus the slowdown relative to the baseline,
-mirroring the structure of Table 4.  (Optimizations I and II — per-region and
-per-map tables — are structural in this reproduction's encoding and cannot be
-disabled without changing its soundness; see EXPERIMENTS.md.)
+(Optimizations I and II — per-region and per-map tables — are structural in
+this reproduction's encoding and cannot be disabled without changing its
+soundness; see EXPERIMENTS.md.)
+
+Environment knobs: ``K2_BENCH_SMOKE=1`` shrinks the benchmark list and the
+workload for CI smoke runs; ``K2_BENCH_JSON=path`` writes a JSON summary of
+the printed rows (the ``BENCH_*.json`` perf trajectory).
 """
 
+import json
+import os
 import time
 
 import pytest
 
 from repro.bpf import NOP
 from repro.corpus import get_benchmark
-from repro.equivalence import (EquivalenceChecker, EquivalenceOptions, Window,
-                               WindowEquivalenceChecker)
+from repro.equivalence import EquivalenceCache, EquivalenceOptions, Window
+from repro.verification import VerificationPipeline
 
 from harness import print_table
 
+SMOKE = os.environ.get("K2_BENCH_SMOKE", "") not in ("", "0")
 BENCHMARKS = ["xdp_exception", "xdp_redirect_err", "xdp_cpumap_kthread",
               "sys_enter_open", "xdp_pktcntr", "from-network"]
+if SMOKE:
+    BENCHMARKS = ["xdp_exception", "xdp_pktcntr"]
+MAX_WINDOWS = 2 if SMOKE else 4
+JSON_PATH = os.environ.get("K2_BENCH_JSON", "")
+
+#: Acceptance bar for the incremental refactor, asserted on the aggregate.
+MIN_SPEEDUP = 1.3
 
 
-def _candidate_with_nopped_store(program):
-    """NOP the first redundant stack store (a typical accepted rewrite)."""
-    instructions = list(program.instructions)
-    for index, insn in enumerate(instructions):
-        if insn.is_store_reg and insn.dst == 10:
-            instructions[index] = NOP
-            window = Window(index, index + 1)
-            return program.with_instructions(instructions), window
-    raise AssertionError("benchmark has no stack store to rewrite")
+def _workload(source):
+    """Single-window candidate rewrites around store instructions."""
+    work = []
+    windows = 0
+    for index, insn in enumerate(source.instructions):
+        if not insn.is_store or insn.is_nop:
+            continue
+        window = Window(index, index + 1)
+        variants = [NOP]
+        if insn.is_store_imm:
+            variants.append(insn.with_fields(imm=insn.imm ^ 1))
+        variants.append(insn.with_fields(off=insn.off - 8))
+        for variant in variants:
+            instructions = list(source.instructions)
+            instructions[index] = variant
+            work.append((source.with_instructions(instructions), window))
+        windows += 1
+        if windows >= MAX_WINDOWS:
+            break
+    if not work:
+        raise AssertionError("benchmark has no store to rewrite")
+    return work
 
 
-def _timed_check(checker, source, candidate, window=None):
+def _run_incremental(source, work, options):
+    """One persistent pipeline: incremental sessions across all queries."""
+    pipeline = VerificationPipeline(options=options)
     started = time.perf_counter()
-    if window is not None:
-        checker.check(source, candidate, window)
-    else:
-        checker.check(source, candidate)
-    return (time.perf_counter() - started) * 1e6   # microseconds
+    verdicts = [pipeline.verify(source, candidate, window=window).result.equivalent
+                for candidate, window in work]
+    return (time.perf_counter() - started) * 1e6, verdicts
+
+
+def _run_fresh(source, work, options):
+    """Fresh pipeline per query (pre-refactor cost structure, shared cache)."""
+    cache = EquivalenceCache()
+    started = time.perf_counter()
+    verdicts = []
+    for candidate, window in work:
+        pipeline = VerificationPipeline(options=options, cache=cache)
+        verdicts.append(
+            pipeline.verify(source, candidate, window=window).result.equivalent)
+    return (time.perf_counter() - started) * 1e6, verdicts
 
 
 def _run_all():
     rows = []
+    summary = []
+    total_incremental = 0.0
+    total_fresh = 0.0
     for name in BENCHMARKS:
         source = get_benchmark(name).program()
-        candidate, window = _candidate_with_nopped_store(source)
+        work = _workload(source)
 
-        baseline = _timed_check(WindowEquivalenceChecker(EquivalenceOptions()),
-                                source, candidate, window)
-        no_modular = _timed_check(EquivalenceChecker(EquivalenceOptions()),
-                                  source, candidate)
-        no_offsets = _timed_check(
-            EquivalenceChecker(EquivalenceOptions(
-                memory_offset_concretization=False)),
-            source, candidate)
+        all_opts, verdicts = _run_incremental(source, work,
+                                              EquivalenceOptions())
+        fresh, fresh_verdicts = _run_fresh(source, work, EquivalenceOptions())
+        assert verdicts == fresh_verdicts, \
+            "incremental and fresh solving must agree on every verdict"
+        no_modular, _ = _run_incremental(
+            source, work, EquivalenceOptions.from_stages("replay,cache,full"))
+        no_offsets, _ = _run_incremental(
+            source, work, EquivalenceOptions.from_stages(
+                "replay,cache,full", memory_offset_concretization=False))
 
+        total_incremental += all_opts
+        total_fresh += fresh
+        speedup = fresh / max(all_opts, 1e-9)
         rows.append([
-            name, len(source.instructions),
-            f"{baseline:,.0f}",
-            f"{no_modular:,.0f}", f"{no_modular / max(baseline, 1e-9):.1f}x",
-            f"{no_offsets:,.0f}", f"{no_offsets / max(baseline, 1e-9):.1f}x",
+            name, len(source.instructions), len(work),
+            f"{all_opts:,.0f}",
+            f"{fresh:,.0f}", f"{speedup:.1f}x",
+            f"{no_modular:,.0f}", f"{no_modular / max(all_opts, 1e-9):.1f}x",
+            f"{no_offsets:,.0f}", f"{no_offsets / max(all_opts, 1e-9):.1f}x",
         ])
+        summary.append({
+            "benchmark": name, "queries": len(work),
+            "all_opts_us": round(all_opts), "fresh_us": round(fresh),
+            "speedup_incremental": round(speedup, 2),
+            "no_modular_us": round(no_modular),
+            "no_offsets_us": round(no_offsets),
+        })
+    aggregate = total_fresh / max(total_incremental, 1e-9)
     print_table(
-        "Table 4: equivalence-checking time (us) and slowdown vs. all "
-        "optimizations on",
-        ["benchmark", "#inst", "all opts (us)", "no modular (us)", "slowdown",
+        "Table 4: equivalence-checking time (us) per workload and slowdown "
+        "vs. all optimizations on",
+        ["benchmark", "#inst", "#queries", "all opts (us)",
+         "fresh/query (us)", "speedup", "no modular (us)", "slowdown",
          "no offset concr. (us)", "slowdown"], rows)
-    return rows
+    print(f"\naggregate incremental speedup (fresh / all opts): "
+          f"{aggregate:.2f}x (bar: {MIN_SPEEDUP}x)")
+    if JSON_PATH:
+        with open(JSON_PATH, "w", encoding="utf-8") as handle:
+            json.dump({"table": "table4_eqcheck_ablation", "smoke": SMOKE,
+                       "aggregate_speedup": round(aggregate, 2),
+                       "rows": summary}, handle, indent=2)
+    return rows, aggregate
 
 
 @pytest.mark.benchmark(group="table4")
 def test_table4_equivalence_ablation(benchmark):
-    rows = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    rows, aggregate = benchmark.pedantic(_run_all, rounds=1, iterations=1)
     assert len(rows) == len(BENCHMARKS)
+    assert aggregate >= MIN_SPEEDUP, (
+        f"incremental pipeline must be at least {MIN_SPEEDUP}x faster than "
+        f"the fresh-solver-per-query baseline, got {aggregate:.2f}x")

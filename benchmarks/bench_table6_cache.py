@@ -6,8 +6,14 @@ reproducing the hit-rate column of Table 6.  A second table exercises the
 parallel engine's *shared* cache: a multi-chain search with a sync interval
 whose aggregate statistics (merged coherently across chains) show the
 cross-chain hits and counterexample sharing on top of the per-chain rates.
+
+Environment knobs: ``K2_BENCH_SMOKE=1`` shrinks the benchmark list and the
+iteration budgets for CI smoke runs; ``K2_BENCH_JSON=path`` writes a JSON
+summary of the printed rows (the ``BENCH_*.json`` perf trajectory);
+``K2_BENCH_WORKERS=N`` runs the shared-cache bench on a process pool.
 """
 
+import json
 import os
 
 import pytest
@@ -17,6 +23,8 @@ from repro.synthesis import MarkovChain, TestSuite
 
 from harness import print_table, run_search
 
+SMOKE = os.environ.get("K2_BENCH_SMOKE", "") not in ("", "0")
+JSON_PATH = os.environ.get("K2_BENCH_JSON", "")
 BENCHMARKS = ["xdp_exception", "sys_enter_open", "xdp_pktcntr",
               "xdp_map_access", "from-network"]
 ITERATIONS = 1500
@@ -24,8 +32,22 @@ SHARED_BENCHMARKS = ["xdp_exception", "xdp_pktcntr"]
 SHARED_ITERATIONS = 600
 SHARED_SETTINGS = 2
 SHARED_SYNC_INTERVAL = 150
-#: Set K2_BENCH_WORKERS=N to run the shared-cache bench on a process pool.
+if SMOKE:
+    BENCHMARKS = ["xdp_exception", "xdp_pktcntr"]
+    ITERATIONS = 300
+    SHARED_ITERATIONS = 200
+    SHARED_SYNC_INTERVAL = 100
 NUM_WORKERS = int(os.environ.get("K2_BENCH_WORKERS", "1"))
+
+#: Accumulated across both tables, dumped to K2_BENCH_JSON at the end.
+_JSON_ROWS = {"table": "table6_cache", "smoke": SMOKE,
+              "per_chain": [], "shared": []}
+
+
+def _dump_json():
+    if JSON_PATH:
+        with open(JSON_PATH, "w", encoding="utf-8") as handle:
+            json.dump(_JSON_ROWS, handle, indent=2)
 
 
 def _run_all():
@@ -42,9 +64,15 @@ def _run_all():
                     if total_queries else 0.0)
         rows.append([name, stats.equivalence_cache_hits, total_queries,
                      f"{hit_rate:.0%}", stats.iterations, cache.num_entries])
+        _JSON_ROWS["per_chain"].append({
+            "benchmark": name, "hits": stats.equivalence_cache_hits,
+            "queries": total_queries, "hit_rate": round(hit_rate, 3),
+            "iterations": stats.iterations, "entries": cache.num_entries,
+            "verification": stats.verification})
     print_table("Table 6: equivalence-cache effectiveness",
                 ["benchmark", "# hits", "# queries", "hit rate",
                  "# iterations", "cache entries"], rows)
+    _dump_json()
     return rows
 
 
@@ -57,15 +85,24 @@ def _run_shared():
                                  sync_interval=SHARED_SYNC_INTERVAL)
         result = compiled.search
         stats = result.cache_stats
+        window = result.verification_stats.get("window", {})
+        window_decided = int(window.get("accepts", 0)) + \
+            int(window.get("rejects", 0))
         rows.append([
             name, len(result.chain_results), result.num_generations,
             int(stats["hits"]), int(stats["misses"]),
             f"{stats['hit_rate']:.0%}", int(stats["cross_chain_hits"]),
-            result.counterexamples_shared,
+            result.counterexamples_shared, window_decided,
         ])
+        _JSON_ROWS["shared"].append({
+            "benchmark": name, "cache": stats,
+            "counterexamples_shared": result.counterexamples_shared,
+            "verification": result.verification_stats})
     print_table("Table 6b: shared cache across parallel chains",
                 ["benchmark", "chains", "generations", "hits", "misses",
-                 "hit rate", "cross-chain hits", "cex shared"], rows)
+                 "hit rate", "cross-chain hits", "cex shared",
+                 "window decided"], rows)
+    _dump_json()
     return rows
 
 

@@ -9,6 +9,6 @@ The public API re-exports the pieces a downstream user typically needs:
   :class:`repro.safety.SafetyChecker`.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["__version__"]

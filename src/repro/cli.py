@@ -15,6 +15,7 @@ import sys
 from .bpf import BpfProgram, HookType, assemble, get_hook
 from .bpf.maps import MapEnvironment
 from .core import K2Compiler, OptimizationGoal
+from .equivalence import EquivalenceOptions
 from .corpus import all_benchmarks, get_benchmark
 from .safety import SafetyChecker
 from .verifier import KernelChecker
@@ -40,7 +41,8 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     compiler = K2Compiler(goal=goal, iterations_per_chain=args.iterations,
                           num_parameter_settings=args.settings, seed=args.seed,
                           num_workers=args.num_workers, executor=args.executor,
-                          sync_interval=args.sync_interval)
+                          sync_interval=args.sync_interval,
+                          verify_stages=args.verify_pipeline)
     result = compiler.optimize(program)
     print(result.summary())
     print()
@@ -114,6 +116,12 @@ def main(argv=None) -> int:
                                "(equivalence-cache entries and "
                                "counterexamples); omit to run each chain to "
                                "completion without mid-run sharing")
+    optimize.add_argument("--verify-pipeline", default=None, metavar="STAGES",
+                          help="comma-separated verification stages to enable, "
+                               "in escalation order, from: replay, cache, "
+                               "window, full (default: all four); e.g. "
+                               "--verify-pipeline cache,full reproduces a "
+                               "Table 4 ablation configuration")
     optimize.set_defaults(func=_cmd_optimize)
 
     check = sub.add_parser("check", help="run the safety and kernel checkers")
@@ -134,6 +142,11 @@ def main(argv=None) -> int:
     if args.command in ("optimize", "check") and not args.program \
             and not args.benchmark:
         parser.error("provide a program file or --benchmark NAME")
+    if args.command == "optimize" and args.verify_pipeline is not None:
+        try:
+            EquivalenceOptions.from_stages(args.verify_pipeline)
+        except ValueError as exc:
+            parser.error(str(exc))
     return args.func(args)
 
 

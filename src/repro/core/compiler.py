@@ -26,10 +26,12 @@ from ..bpf.encoder import decode_program, encode_program
 from ..bpf.hooks import HookType
 from ..bpf.maps import MapEnvironment
 from ..bpf.program import BpfProgram
+from ..equivalence import EquivalenceOptions
 from ..perf.latency_model import DEFAULT_LATENCY_MODEL
 from ..synthesis.cost import PerformanceGoal
 from ..synthesis.params import ParameterSetting, all_parameter_settings
 from ..synthesis.search import SearchOptions, SearchResult, Synthesizer
+from ..verification import summarize_verification_stats
 from ..verifier import KernelChecker, KernelCheckerVerdict
 
 __all__ = ["OptimizationGoal", "CompilationResult", "K2Compiler"]
@@ -101,6 +103,10 @@ class CompilationResult:
                 f"({100.0 * cache['hit_rate']:.0f}% hit rate, "
                 f"{cache['cross_chain_hits']:.0f} cross-chain), "
                 f"{self.search.counterexamples_shared} counterexamples shared")
+        verification = self.search.verification_stats
+        if verification:
+            lines.append(
+                f"verify:        {summarize_verification_stats(verification)}")
         return "\n".join(lines)
 
 
@@ -116,8 +122,21 @@ class K2Compiler:
                  num_workers: int = 1,
                  executor: str = "auto",
                  sync_interval: Optional[int] = None,
+                 verify_stages: Optional[str] = None,
+                 equivalence: Optional[EquivalenceOptions] = None,
                  options: Optional[SearchOptions] = None):
+        if options is not None and (verify_stages is not None
+                                    or equivalence is not None):
+            raise ValueError("an explicit SearchOptions already carries its "
+                             "EquivalenceOptions; do not combine options with "
+                             "verify_stages/equivalence")
         if options is None:
+            if equivalence is None:
+                equivalence = EquivalenceOptions.from_stages(verify_stages) \
+                    if verify_stages is not None else EquivalenceOptions()
+            elif verify_stages is not None:
+                raise ValueError(
+                    "pass either verify_stages or equivalence, not both")
             options = SearchOptions(
                 goal=goal,
                 iterations_per_chain=iterations_per_chain,
@@ -128,7 +147,8 @@ class K2Compiler:
                 time_budget_seconds=time_budget_seconds,
                 num_workers=num_workers,
                 executor=executor,
-                sync_interval=sync_interval)
+                sync_interval=sync_interval,
+                equivalence=equivalence)
         self.options = options
         self.kernel_checker = KernelChecker()
 

@@ -30,13 +30,12 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from ..bpf.program import BpfProgram
 from ..interpreter import ProgramInput
 from ..smt import (
-    CheckResult, Expr, Solver, TRUE, bool_and, bool_not, bool_or, bool_xor,
-    bv_eq, bv_ne,
+    CheckResult, Expr, Solver, bool_and, bool_or, bool_xor, bv_ne,
 )
 from .memory_model import SymbolicInputs
 from .symbolic import ImpreciseEncodingError, SymbolicExecutor, SymbolicResult
@@ -46,7 +45,14 @@ __all__ = ["EquivalenceOptions", "EquivalenceResult", "EquivalenceChecker"]
 
 @dataclasses.dataclass
 class EquivalenceOptions:
-    """Toggles for the §5 optimizations, exercised by the Table 4 ablation."""
+    """Toggles for the §5 optimizations, exercised by the Table 4 ablation.
+
+    This is the *single* options object for the whole candidate-validation
+    path: it is owned by :class:`repro.verification.VerificationPipeline`,
+    which hands the same instance to every stage (interpreter replay, cache,
+    window checking, full symbolic checking).  The four ``stage`` toggles
+    map one-to-one onto pipeline stages — see :meth:`stage_names`.
+    """
 
     #: I — separate read/write tables per memory region.
     memory_type_concretization: bool = True
@@ -55,12 +61,52 @@ class EquivalenceOptions:
     map_type_concretization: bool = True
     #: III — concrete offsets decided at encoding time.
     memory_offset_concretization: bool = True
-    #: IV — modular (window) verification; used by the search loop.
+    #: IV — modular (window) verification; the pipeline's ``window`` stage.
     modular_verification: bool = True
-    #: V — cache of canonicalized programs.
+    #: V — cache of canonicalized programs; the pipeline's ``cache`` stage.
     enable_cache: bool = True
+    #: Replay candidates against pooled counterexamples before any solver
+    #: work; the pipeline's ``replay`` stage.
+    interpreter_replay: bool = True
+    #: Full-program symbolic equivalence; the pipeline's ``full`` stage.
+    #: Disabling it (a Table-4-style ablation) makes the pipeline report
+    #: "unknown" for whatever the earlier stages cannot decide.
+    full_symbolic: bool = True
     #: Conflict budget handed to the SAT solver per query.
     max_conflicts: int = 2_000_000
+    #: Clause-database size at which a checker retires its incremental
+    #: solver session and starts a fresh one (bounds long-run memory).
+    max_session_clauses: int = 250_000
+
+    #: Pipeline stage order, mapped to the toggle controlling each stage.
+    STAGE_TOGGLES = (("replay", "interpreter_replay"),
+                     ("cache", "enable_cache"),
+                     ("window", "modular_verification"),
+                     ("full", "full_symbolic"))
+
+    def stage_names(self) -> Tuple[str, ...]:
+        """The enabled pipeline stages, in escalation order."""
+        return tuple(stage for stage, toggle in self.STAGE_TOGGLES
+                     if getattr(self, toggle))
+
+    @classmethod
+    def from_stages(cls, stages: str, **kwargs) -> "EquivalenceOptions":
+        """Build options from a comma-separated stage list.
+
+        ``EquivalenceOptions.from_stages("replay,cache,full")`` is the
+        one-line way to express a Table 4 ablation configuration; unknown
+        stage names raise ``ValueError``.
+        """
+        known = {stage: toggle for stage, toggle in cls.STAGE_TOGGLES}
+        enabled = [part.strip() for part in stages.split(",") if part.strip()]
+        for name in enabled:
+            if name not in known:
+                raise ValueError(
+                    f"unknown verification stage {name!r}; "
+                    f"choose from {', '.join(known)}")
+        for stage, toggle in cls.STAGE_TOGGLES:
+            kwargs.setdefault(toggle, stage in enabled)
+        return cls(**kwargs)
 
 
 @dataclasses.dataclass
@@ -78,6 +124,37 @@ class EquivalenceResult:
         return self.equivalent
 
 
+class _CheckerSession:
+    """Incremental solver state shared by every query against one source.
+
+    The source program's encoding never changes between queries, so its
+    symbolic execution is done once and its constraints (plus the input
+    well-formedness constraints) are asserted once at the solver's base
+    level.  Each candidate query then runs inside one push/pop scope: only
+    the candidate's constraints and the "outputs differ" formula are new,
+    and the hash-consed bit-blaster re-blasts none of the shared structure.
+    """
+
+    def __init__(self, source: BpfProgram, options: EquivalenceOptions):
+        self.source_key = source.structural_key()
+        self.solver = Solver(max_conflicts=options.max_conflicts)
+        self.inputs = SymbolicInputs(source.hook, source.maps)
+        self.result1 = SymbolicExecutor(
+            self.inputs, "p1",
+            concretize_offsets=options.memory_offset_concretization,
+        ).execute(source)
+        self._base_asserted = False
+
+    def assert_base(self) -> None:
+        if self._base_asserted:
+            return
+        for constraint in self.inputs.constraints():
+            self.solver.add(constraint)
+        for constraint in self.result1.constraints:
+            self.solver.add(constraint)
+        self._base_asserted = True
+
+
 class EquivalenceChecker:
     """Formal input/output equivalence of two BPF programs."""
 
@@ -85,6 +162,32 @@ class EquivalenceChecker:
         self.options = options or EquivalenceOptions()
         self.num_queries = 0
         self.total_time = 0.0
+        self._session: Optional[_CheckerSession] = None
+
+    # ------------------------------------------------------------------ #
+    # Incremental session management
+    # ------------------------------------------------------------------ #
+    def reset_session(self) -> None:
+        """Drop the incremental solver state (fresh encoding on next query)."""
+        self._session = None
+
+    def __getstate__(self):
+        # Solver sessions are rebuilt lazily and can be large; never ship
+        # them across process boundaries with a pickled checker.
+        state = self.__dict__.copy()
+        state["_session"] = None
+        return state
+
+    def _session_for(self, source: BpfProgram) -> _CheckerSession:
+        session = self._session
+        if session is not None and (
+                session.source_key != source.structural_key()
+                or session.solver.num_clauses > self.options.max_session_clauses):
+            session = None
+        if session is None:
+            session = _CheckerSession(source, self.options)
+            self._session = session
+        return session
 
     # ------------------------------------------------------------------ #
     def check(self, source: BpfProgram, candidate: BpfProgram) -> EquivalenceResult:
@@ -109,11 +212,10 @@ class EquivalenceChecker:
         if source.structural_key() == candidate.structural_key():
             return EquivalenceResult(equivalent=True, reason="identical programs")
 
-        inputs = SymbolicInputs(source.hook, source.maps)
+        session = self._session_for(source)
         concretize = self.options.memory_offset_concretization
-        result1 = SymbolicExecutor(inputs, "p1",
-                                   concretize_offsets=concretize).execute(source)
-        result2 = SymbolicExecutor(inputs, "p2",
+        result1 = session.result1
+        result2 = SymbolicExecutor(session.inputs, "p2",
                                    concretize_offsets=concretize).execute(candidate)
 
         difference = self._outputs_differ(result1, result2)
@@ -126,26 +228,28 @@ class EquivalenceChecker:
             return EquivalenceResult(equivalent=True,
                                      reason="outputs syntactically identical")
 
-        solver = Solver(max_conflicts=self.options.max_conflicts)
-        for constraint in inputs.constraints():
-            solver.add(constraint)
-        for constraint in result1.constraints:
-            solver.add(constraint)
-        for constraint in result2.constraints:
-            solver.add(constraint)
-        solver.add(difference)
+        session.assert_base()
+        solver = session.solver
+        token = solver.push()
+        try:
+            for constraint in result2.constraints:
+                solver.add(constraint)
+            solver.add(difference)
 
-        verdict = solver.check()
-        if verdict == CheckResult.UNSAT:
-            return EquivalenceResult(equivalent=True, used_solver=True,
-                                     reason="solver proved equivalence")
-        if verdict == CheckResult.SAT:
-            counterexample = inputs.extract_test_case(solver.model())
-            return EquivalenceResult(equivalent=False, used_solver=True,
-                                     counterexample=counterexample,
-                                     reason="counterexample found")
-        return EquivalenceResult(equivalent=False, unknown=True, used_solver=True,
-                                 reason="solver budget exhausted")
+            verdict = solver.check()
+            if verdict == CheckResult.UNSAT:
+                return EquivalenceResult(equivalent=True, used_solver=True,
+                                         reason="solver proved equivalence")
+            if verdict == CheckResult.SAT:
+                counterexample = session.inputs.extract_test_case(solver.model())
+                return EquivalenceResult(equivalent=False, used_solver=True,
+                                         counterexample=counterexample,
+                                         reason="counterexample found")
+            return EquivalenceResult(equivalent=False, unknown=True,
+                                     used_solver=True,
+                                     reason="solver budget exhausted")
+        finally:
+            solver.pop(token)
 
     # ------------------------------------------------------------------ #
     # Output comparison

@@ -25,16 +25,13 @@ import dataclasses
 from typing import Dict, List, Optional, Tuple
 
 from ..bpf import builders
-from ..bpf.instruction import Instruction
 from ..bpf.liveness import compute_liveness
 from ..bpf.memtypes import analyze_types
 from ..bpf.opcodes import STACK_SIZE
 from ..bpf.program import BpfProgram
 from ..bpf.regions import MemRegion
-from ..interpreter import ProgramInput
 from ..smt import (
-    CheckResult, Expr, Solver, bool_and, bool_not, bool_or, bool_xor, bv_add,
-    bv_const, bv_eq, bv_ne, bv_var,
+    CheckResult, Expr, Solver, bool_or, bv_add, bv_const, bv_eq, bv_ne, bv_var,
 )
 from .checker import EquivalenceOptions, EquivalenceResult
 from .memory_model import SymbolicInputs
@@ -80,12 +77,66 @@ def select_windows(program: BpfProgram, max_size: int = 4) -> List[Window]:
     return windows
 
 
+class _WindowSession:
+    """Incremental solver state shared by the window queries of one source.
+
+    Window queries against the same source share: the symbolic inputs, the
+    input well-formedness constraints (asserted once at the solver's base
+    level), and — per window — the entry-register analysis and the source
+    window's symbolic execution.  Each query's candidate-side constraints
+    and postcondition live in one push/pop scope, so the bit-blasted CNF
+    and the clauses learned from one candidate prune the next.
+    """
+
+    def __init__(self, source: BpfProgram, options: EquivalenceOptions):
+        self.source_key = source.structural_key()
+        self.solver = Solver(max_conflicts=options.max_conflicts)
+        self.inputs = SymbolicInputs(source.hook, source.maps)
+        self.liveness = compute_liveness(source.instructions)
+        self._base_asserted = False
+        #: (start, end) -> (entry registers, preconditions, source result).
+        self.windows: Dict[Tuple[int, int], tuple] = {}
+        #: (start, end) -> live stack offsets (or None for "all").
+        self.live_stack: Dict[Tuple[int, int], Optional[set]] = {}
+
+    def assert_base(self) -> None:
+        if self._base_asserted:
+            return
+        for constraint in self.inputs.constraints():
+            self.solver.add(constraint)
+        self._base_asserted = True
+
+
 class WindowEquivalenceChecker:
     """Equivalence of two programs that differ only inside one window."""
 
     def __init__(self, options: Optional[EquivalenceOptions] = None):
         self.options = options or EquivalenceOptions()
         self.num_queries = 0
+        self._session: Optional[_WindowSession] = None
+
+    # ------------------------------------------------------------------ #
+    # Incremental session management
+    # ------------------------------------------------------------------ #
+    def reset_session(self) -> None:
+        """Drop the incremental solver state (fresh encoding on next query)."""
+        self._session = None
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_session"] = None
+        return state
+
+    def _session_for(self, source: BpfProgram) -> _WindowSession:
+        session = self._session
+        if session is not None and (
+                session.source_key != source.structural_key()
+                or session.solver.num_clauses > self.options.max_session_clauses):
+            session = None
+        if session is None:
+            session = _WindowSession(source, self.options)
+            self._session = session
+        return session
 
     # ------------------------------------------------------------------ #
     def check(self, source: BpfProgram, candidate: BpfProgram,
@@ -155,20 +206,27 @@ class WindowEquivalenceChecker:
 
     def _check_window(self, source: BpfProgram, candidate: BpfProgram,
                       window: Window) -> EquivalenceResult:
-        inputs = SymbolicInputs(source.hook, source.maps)
-        entry, preconditions = self._entry_registers(inputs, source, window)
+        session = self._session_for(source)
+        inputs = session.inputs
 
-        source_window = self._window_program(source, window)
+        window_key = (window.start, window.end)
+        cached = session.windows.get(window_key)
+        if cached is None:
+            entry, preconditions = self._entry_registers(inputs, source, window)
+            source_window = self._window_program(source, window)
+            result1 = SymbolicExecutor(inputs, "p1").execute(
+                source_window, entry_registers=dict(entry))
+            cached = (entry, preconditions, result1)
+            session.windows[window_key] = cached
+        entry, preconditions, result1 = cached
+
         candidate_window = self._window_program(candidate, window)
-
-        exec1 = SymbolicExecutor(inputs, "p1")
-        exec2 = SymbolicExecutor(inputs, "p2")
-        result1 = exec1.execute(source_window, entry_registers=dict(entry))
-        result2 = exec2.execute(candidate_window, entry_registers=dict(entry))
+        result2 = SymbolicExecutor(inputs, "p2").execute(
+            candidate_window, entry_registers=dict(entry))
 
         # Postcondition: live-out registers of the source program, plus all
         # memory stores performed inside the window.
-        liveness = compute_liveness(source.instructions)
+        liveness = session.liveness
         live_out = liveness.live_out_at(window.end - 1) if window.end > 0 else frozenset()
 
         differences: List[Expr] = []
@@ -176,7 +234,11 @@ class WindowEquivalenceChecker:
             differences.append(bv_ne(result1.final_registers[reg],
                                      result2.final_registers[reg]))
 
-        live_stack = self._live_stack_offsets(source, window)
+        if window_key in session.live_stack:
+            live_stack = session.live_stack[window_key]
+        else:
+            live_stack = self._live_stack_offsets(source, window)
+            session.live_stack[window_key] = live_stack
         for region in (MemRegion.STACK, MemRegion.PACKET, MemRegion.MAP_VALUE):
             mem1 = result1.memories.get(region)
             mem2 = result2.memories.get(region)
@@ -211,26 +273,32 @@ class WindowEquivalenceChecker:
             return EquivalenceResult(equivalent=True,
                                      reason="window outputs syntactically identical")
 
-        solver = Solver(max_conflicts=self.options.max_conflicts)
-        for constraint in inputs.constraints():
-            solver.add(constraint)
-        for constraint in preconditions:
-            solver.add(constraint)
-        for constraint in result1.constraints:
-            solver.add(constraint)
-        for constraint in result2.constraints:
-            solver.add(constraint)
-        solver.add(difference)
+        session.assert_base()
+        solver = session.solver
+        token = solver.push()
+        try:
+            # Preconditions bind the shared live-in variables to this
+            # window's inferred valuations, so they are scoped per query.
+            for constraint in preconditions:
+                solver.add(constraint)
+            for constraint in result1.constraints:
+                solver.add(constraint)
+            for constraint in result2.constraints:
+                solver.add(constraint)
+            solver.add(difference)
 
-        verdict = solver.check()
-        if verdict == CheckResult.UNSAT:
-            return EquivalenceResult(equivalent=True, used_solver=True,
-                                     reason="window proved equivalent")
-        if verdict == CheckResult.SAT:
-            return EquivalenceResult(equivalent=False, used_solver=True,
-                                     reason="window counterexample found")
-        return EquivalenceResult(equivalent=False, unknown=True, used_solver=True,
-                                 reason="solver budget exhausted")
+            verdict = solver.check()
+            if verdict == CheckResult.UNSAT:
+                return EquivalenceResult(equivalent=True, used_solver=True,
+                                         reason="window proved equivalent")
+            if verdict == CheckResult.SAT:
+                return EquivalenceResult(equivalent=False, used_solver=True,
+                                         reason="window counterexample found")
+            return EquivalenceResult(equivalent=False, unknown=True,
+                                     used_solver=True,
+                                     reason="solver budget exhausted")
+        finally:
+            solver.pop(token)
 
     @staticmethod
     def _untouched_byte(inputs: SymbolicInputs, region: MemRegion, offset: int,

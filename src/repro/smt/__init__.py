@@ -13,7 +13,7 @@ from .bitvec import (
 )
 from .simplify import evaluate, substitute, collect_vars
 from .cnf import CNF
-from .sat import SatSolver, SatResult, solve_cnf
+from .sat import IncrementalSatSolver, SatSolver, SatResult, solve_cnf
 from .bitblast import BitBlaster
 from .solver import Solver, CheckResult, Model, SolverStats
 

@@ -2,7 +2,9 @@
 
 One :class:`MarkovChain` runs the loop of Fig. 1: propose a rewrite (§3.1),
 evaluate its cost (§3.2) using the test suite, the safety checker and — when
-every test passes — the formal equivalence checker, then accept or reject the
+every test passes — the tiered verification pipeline
+(:class:`repro.verification.VerificationPipeline`: interpreter replay →
+cache → window check → full symbolic equivalence), then accept or reject the
 proposal (§3.3).  Equivalence and safety counterexamples feed back into the
 test suite so similar candidates are pruned without further solver calls.
 """
@@ -13,15 +15,13 @@ import dataclasses
 import math
 import random
 import time
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from ..bpf.program import BpfProgram
-from ..equivalence import (
-    EquivalenceCache, EquivalenceChecker, EquivalenceOptions,
-    EquivalenceResult, Window, WindowEquivalenceChecker,
-)
+from ..equivalence import EquivalenceCache, EquivalenceOptions, EquivalenceResult
 from ..perf.latency_model import DEFAULT_LATENCY_MODEL, OpcodeLatencyModel
 from ..safety import SafetyChecker
+from ..verification import VerificationPipeline
 from .cost import (
     CostSettings, ERR_MAX, error_cost, performance_cost, total_cost,
 )
@@ -57,6 +57,10 @@ class ChainStatistics:
     counterexamples_received: int = 0
     #: Number of ``run()`` calls (generations) this chain has executed.
     generations: int = 0
+    #: Per-stage verification-pipeline counters (attempts/accepts/rejects/
+    #: escalations/skips/seconds per stage), snapshotted from the pipeline.
+    verification: Dict[str, Dict[str, float]] = dataclasses.field(
+        default_factory=dict)
 
 
 @dataclasses.dataclass
@@ -92,7 +96,8 @@ class MarkovChain:
                  equivalence_options: Optional[EquivalenceOptions] = None,
                  latency_model: OpcodeLatencyModel = DEFAULT_LATENCY_MODEL,
                  cache: Optional[EquivalenceCache] = None,
-                 lazy_safety: bool = True):
+                 lazy_safety: bool = True,
+                 pipeline: Optional[VerificationPipeline] = None):
         source.validate()
         self.source = source
         self.settings = cost_settings or CostSettings()
@@ -100,10 +105,17 @@ class MarkovChain:
         self.proposer = ProposalGenerator(source, self.rng, probabilities)
         self.tests = test_suite or TestSuite(source, seed=seed)
         self.safety = SafetyChecker()
-        self.equivalence_options = equivalence_options or EquivalenceOptions()
-        self.equivalence = EquivalenceChecker(self.equivalence_options)
-        self.window_equivalence = WindowEquivalenceChecker(self.equivalence_options)
-        self.cache = cache if cache is not None else EquivalenceCache()
+        # The verification pipeline owns the equivalence options and the
+        # cache; the ``equivalence_options``/``cache`` kwargs are kept for
+        # backwards compatibility and feed the pipeline it builds.
+        if pipeline is None:
+            pipeline = VerificationPipeline(
+                options=equivalence_options or EquivalenceOptions(),
+                cache=cache)
+        elif equivalence_options is not None or cache is not None:
+            raise ValueError("pass either a pipeline or the deprecated "
+                             "equivalence_options/cache kwargs, not both")
+        self.pipeline = pipeline
         self.latency_model = latency_model
         self.beta_anneal = beta_anneal
         self.lazy_safety = lazy_safety
@@ -117,6 +129,25 @@ class MarkovChain:
         self._current_cost = self._evaluate(self.source)[0]
 
     # ------------------------------------------------------------------ #
+    # Deprecated accessors, delegating to the pipeline (single options
+    # object; see EquivalenceOptions docstring).
+    @property
+    def equivalence_options(self) -> EquivalenceOptions:
+        return self.pipeline.options
+
+    @property
+    def cache(self) -> EquivalenceCache:
+        return self.pipeline.cache
+
+    @property
+    def equivalence(self):
+        return self.pipeline.checker
+
+    @property
+    def window_equivalence(self):
+        return self.pipeline.window_checker
+
+    # ------------------------------------------------------------------ #
     def run(self, iterations: int,
             time_budget_seconds: Optional[float] = None) -> ChainResult:
         """Run the chain for ``iterations`` proposals (or until the budget).
@@ -127,6 +158,10 @@ class MarkovChain:
         parallel engine relies on this to run chains in generations.
         """
         started = time.perf_counter()
+        # Solver sessions never cross a generation boundary: process pools
+        # drop them in pickling, so serial and thread runs drop them too —
+        # every backend traverses the same solver history.
+        self.pipeline.begin_generation()
         for _ in range(iterations):
             if time_budget_seconds is not None and \
                     time.perf_counter() - started > time_budget_seconds:
@@ -135,6 +170,7 @@ class MarkovChain:
         self.stats.elapsed_seconds += time.perf_counter() - started
         self.stats.generations += 1
         self.stats.cross_chain_cache_hits = self.cache.cross_chain_hits
+        self.stats.verification = self.pipeline.stats.as_dict()
         ordered = sorted(self.verified, key=lambda c: c.perf_cost)
         return ChainResult(best=ordered[0] if ordered else None,
                            candidates=ordered, statistics=self.stats)
@@ -230,43 +266,12 @@ class MarkovChain:
 
     # ------------------------------------------------------------------ #
     def _check_equivalence(self, candidate: BpfProgram) -> EquivalenceResult:
-        cached = None
-        if self.equivalence_options.enable_cache:
-            cached = self.cache.lookup(candidate)
-            if cached is not None:
-                self.stats.equivalence_cache_hits += 1
-                return cached
-        self.stats.equivalence_checks += 1
-
-        result: Optional[EquivalenceResult] = None
-        if self.equivalence_options.modular_verification:
-            window = self._changed_window(candidate)
-            if window is not None:
-                result = self.window_equivalence.check(self.source, candidate,
-                                                       window)
-                if result.unknown:
-                    result = None
-        if result is None:
-            result = self.equivalence.check(self.source, candidate)
-
-        if self.equivalence_options.enable_cache:
-            self.cache.store(candidate, result)
-        return result
-
-    def _changed_window(self, candidate: BpfProgram) -> Optional[Window]:
-        """The contiguous window containing every instruction that differs."""
-        source_insns = self.source.instructions
-        candidate_insns = candidate.instructions
-        if len(source_insns) != len(candidate_insns):
-            return None
-        changed = [index for index in range(len(source_insns))
-                   if source_insns[index] != candidate_insns[index]]
-        if not changed:
-            return None
-        window = Window(changed[0], changed[-1] + 1)
-        if len(window) > 6:
-            return None
-        return window
+        outcome = self.pipeline.verify(self.source, candidate)
+        if outcome.cache_hit:
+            self.stats.equivalence_cache_hits += 1
+        else:
+            self.stats.equivalence_checks += 1
+        return outcome.result
 
     # ------------------------------------------------------------------ #
     def _record_verified(self, candidate: BpfProgram,

@@ -76,8 +76,8 @@ class ChainWorkUnitResult:
 def run_chain_generation(unit: ChainWorkUnit) -> ChainWorkUnitResult:
     """Execute one work unit (module-level so process pools can import it)."""
     chain = unit.chain
-    if unit.shared_cache_entries and chain.equivalence_options.enable_cache:
-        chain.cache.seed(unit.shared_cache_entries, foreign=True)
+    if unit.shared_cache_entries and chain.pipeline.options.enable_cache:
+        chain.pipeline.cache.seed(unit.shared_cache_entries, foreign=True)
     if unit.shared_counterexamples:
         chain.receive_counterexamples(unit.shared_counterexamples)
     result = chain.run(unit.iterations,

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional
 
 from ..bpf.program import BpfProgram
 from ..equivalence import EquivalenceOptions
+from ..verification import PipelineStats
 from ..verifier import KernelChecker
 from .cost import PerformanceGoal
 from .mcmc import ChainResult, VerifiedCandidate
@@ -81,6 +82,11 @@ class SearchResult:
     num_generations: int = 1
     #: Concrete executor backend the controller used.
     executor_used: str = "serial"
+    #: Per-stage verification-pipeline counters summed over every chain:
+    #: ``{stage: {attempts, accepts, rejects, escalations, skips, seconds}}``
+    #: plus a ``_pipeline`` bucket with ``queries``/``inconclusive``.
+    verification_stats: Dict[str, Dict[str, float]] = dataclasses.field(
+        default_factory=dict)
 
     @property
     def best_program(self) -> BpfProgram:
@@ -139,6 +145,11 @@ class Synthesizer:
                     rejected += 1
             candidates = accepted
 
+        verification: Dict[str, Dict[str, float]] = {}
+        for result in chain_results:
+            PipelineStats.merge_dicts(verification,
+                                      result.statistics.verification)
+
         top = self._deduplicate(candidates)[:max(options.top_k, 1)]
         return SearchResult(
             source=source,
@@ -151,7 +162,8 @@ class Synthesizer:
             cache_stats=controller.shared_cache.stats(),
             counterexamples_shared=controller.counterexamples_shared,
             num_generations=controller.num_generations,
-            executor_used=controller.executor_kind)
+            executor_used=controller.executor_kind,
+            verification_stats=verification)
 
     # ------------------------------------------------------------------ #
     @staticmethod

@@ -1,0 +1,17 @@
+"""Tiered candidate verification: replay → cache → window → full symbolic.
+
+The :class:`VerificationPipeline` is the single entry point the synthesis
+loop uses to decide whether a candidate is formally equivalent to the
+source program (paper §4–§5); see :mod:`repro.verification.pipeline`.
+"""
+
+from .stages import (
+    CacheLookupStage, FullSymbolicStage, InterpreterReplayStage, StageOutcome,
+    StageVerdict, VerificationStage, WindowCheckStage, changed_window,
+)
+from .pipeline import (
+    PipelineOutcome, PipelineStats, StageStats, VerificationPipeline,
+    summarize_verification_stats,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,243 @@
+"""The tiered candidate-verification pipeline.
+
+:class:`VerificationPipeline` owns the whole "is this candidate equivalent
+to the source?" path of the synthesis loop.  A candidate escalates through
+explicit, pluggable stages — interpreter replay, cache lookup, window
+(modular) checking, full symbolic checking — each returning a typed
+:class:`~repro.verification.stages.StageVerdict`; the first conclusive
+verdict wins.  Per-stage attempt/accept/reject/escalate counters and wall
+clock are kept in :class:`PipelineStats`, which is what the Table 4/6
+benches and the CLI summary report.
+
+The pipeline owns the single :class:`~repro.equivalence.EquivalenceOptions`
+instance for the whole path (the §5 toggles used to be threaded separately
+through the checker, the window checker and the search loop) and hands the
+same object to every stage.  It also owns the
+:class:`~repro.equivalence.EquivalenceCache` and the counterexample pool
+that feeds the replay stage.
+
+Underneath, the two solver-backed stages keep *incremental sessions*
+(:mod:`repro.equivalence.checker` / :mod:`repro.equivalence.window`): the
+source program's encoding is bit-blasted once at the solver's base level
+and every candidate query runs in a push/pop scope guarded by an assumption
+literal, reusing the blasted CNF and the learned clauses of earlier
+queries.  :meth:`begin_generation` drops those sessions; the parallel
+engine calls it at every generation boundary so serial, thread and process
+executors traverse identical solver histories.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..bpf.program import BpfProgram
+from ..equivalence import (
+    EquivalenceCache, EquivalenceChecker, EquivalenceOptions,
+    EquivalenceResult, Window, WindowEquivalenceChecker,
+)
+from ..interpreter import Interpreter, ProgramInput, ProgramOutput
+from .stages import (
+    CacheLookupStage, FullSymbolicStage, InterpreterReplayStage, StageOutcome,
+    StageVerdict, VerificationStage, WindowCheckStage,
+)
+
+__all__ = ["StageStats", "PipelineStats", "PipelineOutcome",
+           "VerificationPipeline", "summarize_verification_stats"]
+
+
+def summarize_verification_stats(stats: Dict[str, Dict[str, float]]) -> str:
+    """One-line "decided/attempted" digest of a per-stage stats dict."""
+    parts = []
+    for stage, counters in stats.items():
+        if stage == "_pipeline":
+            continue
+        attempts = int(counters.get("attempts", 0))
+        decided = int(counters.get("accepts", 0)) + int(counters.get("rejects", 0))
+        parts.append(f"{stage} {decided}/{attempts}")
+    pipeline = stats.get("_pipeline", {})
+    inconclusive = int(pipeline.get("inconclusive", 0))
+    suffix = " (decided/escalated-to)"
+    if inconclusive:
+        suffix += f", {inconclusive} inconclusive"
+    return ", ".join(parts) + suffix if parts else "no verification queries"
+
+
+@dataclasses.dataclass
+class StageStats:
+    """Counters for one pipeline stage (feeds Table 4/6-style reports)."""
+
+    attempts: int = 0
+    accepts: int = 0
+    rejects: int = 0
+    escalations: int = 0
+    skips: int = 0
+    seconds: float = 0.0
+
+    def record(self, verdict: StageVerdict) -> None:
+        if verdict.outcome == StageOutcome.SKIP:
+            self.skips += 1
+            return
+        self.attempts += 1
+        self.seconds += verdict.elapsed
+        if verdict.outcome == StageOutcome.ACCEPT:
+            self.accepts += 1
+        elif verdict.outcome == StageOutcome.REJECT:
+            self.rejects += 1
+        else:
+            self.escalations += 1
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"attempts": self.attempts, "accepts": self.accepts,
+                "rejects": self.rejects, "escalations": self.escalations,
+                "skips": self.skips, "seconds": round(self.seconds, 6)}
+
+
+class PipelineStats:
+    """Per-stage statistics for every query one pipeline has seen."""
+
+    def __init__(self, stage_names: Tuple[str, ...]):
+        self.stages: Dict[str, StageStats] = {
+            name: StageStats() for name in stage_names}
+        self.queries = 0
+        self.inconclusive = 0
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        summary = {name: stats.as_dict() for name, stats in self.stages.items()}
+        summary["_pipeline"] = {"queries": self.queries,
+                                "inconclusive": self.inconclusive}
+        return summary
+
+    @staticmethod
+    def merge_dicts(into: Dict[str, Dict[str, float]],
+                    other: Dict[str, Dict[str, float]]) -> Dict[str, Dict[str, float]]:
+        """Accumulate one ``as_dict()`` snapshot into another (for chains)."""
+        for stage, counters in other.items():
+            bucket = into.setdefault(stage, {})
+            for key, value in counters.items():
+                bucket[key] = bucket.get(key, 0) + value
+        return into
+
+
+@dataclasses.dataclass
+class PipelineOutcome:
+    """What :meth:`VerificationPipeline.verify` returns for one candidate."""
+
+    result: EquivalenceResult
+    verdicts: List[StageVerdict]
+    concluded_by: str
+
+    @property
+    def cache_hit(self) -> bool:
+        return self.concluded_by == "cache"
+
+    def __bool__(self) -> bool:
+        return self.result.equivalent
+
+
+class VerificationPipeline:
+    """Escalate candidates through replay → cache → window → full symbolic."""
+
+    def __init__(self, options: Optional[EquivalenceOptions] = None,
+                 cache: Optional[EquivalenceCache] = None,
+                 stages: Optional[List[VerificationStage]] = None,
+                 interpreter: Optional[Interpreter] = None,
+                 max_pool_size: int = 64):
+        self.options = options or EquivalenceOptions()
+        self.cache = cache if cache is not None else EquivalenceCache()
+        self.interpreter = interpreter or Interpreter()
+        self.checker = EquivalenceChecker(self.options)
+        self.window_checker = WindowEquivalenceChecker(self.options)
+        self.stages: List[VerificationStage] = stages if stages is not None \
+            else [InterpreterReplayStage(),
+                  CacheLookupStage(),
+                  WindowCheckStage(self.window_checker),
+                  FullSymbolicStage(self.checker)]
+        self.stats = PipelineStats(tuple(s.name for s in self.stages))
+        #: Counterexample pool feeding the replay stage, newest last.
+        self._pool: List[ProgramInput] = []
+        self._pool_keys: set = set()
+        self._max_pool_size = max_pool_size
+        #: Source outputs for the pool, recomputed when the source changes.
+        self._pool_outputs: List[ProgramOutput] = []
+        self._pool_source_key = None
+
+    # ------------------------------------------------------------------ #
+    # Counterexample pool
+    # ------------------------------------------------------------------ #
+    def add_counterexample(self, test: ProgramInput) -> bool:
+        """Add a concrete distinguishing input to the replay pool."""
+        key = test.freeze_key()
+        if key in self._pool_keys or len(self._pool) >= self._max_pool_size:
+            return False
+        self._pool_keys.add(key)
+        self._pool.append(test)
+        # Keep cached source outputs aligned by appending lazily in
+        # replay_entries (invalidate the shorter cache here).
+        return True
+
+    @property
+    def pool_size(self) -> int:
+        return len(self._pool)
+
+    def replay_entries(self, source: BpfProgram) -> List[Tuple[ProgramInput, ProgramOutput]]:
+        """(input, source output) pairs for the replay stage."""
+        key = source.structural_key()
+        if self._pool_source_key != key:
+            self._pool_outputs = []
+            self._pool_source_key = key
+        while len(self._pool_outputs) < len(self._pool):
+            test = self._pool[len(self._pool_outputs)]
+            self._pool_outputs.append(self.interpreter.run(source, test))
+        return list(zip(self._pool, self._pool_outputs))
+
+    # ------------------------------------------------------------------ #
+    def begin_generation(self) -> None:
+        """Reset the incremental solver sessions (not stats, cache or pool).
+
+        Called at every chain-generation boundary so that all executor
+        backends — including process pools, whose pickling drops sessions —
+        see identical solver histories and produce identical results.
+        """
+        self.checker.reset_session()
+        self.window_checker.reset_session()
+
+    # ------------------------------------------------------------------ #
+    def verify(self, source: BpfProgram, candidate: BpfProgram,
+               window: Optional[Window] = None) -> PipelineOutcome:
+        """Escalate ``candidate`` through the stages; first conclusion wins."""
+        self.stats.queries += 1
+        verdicts: List[StageVerdict] = []
+        final: Optional[EquivalenceResult] = None
+        concluded_by = "none"
+
+        for stage in self.stages:
+            if not stage.enabled(self):
+                verdict = StageVerdict(stage.name, StageOutcome.SKIP,
+                                       detail="stage disabled")
+            else:
+                started = time.perf_counter()
+                verdict = stage.run(self, source, candidate, window)
+                verdict.elapsed = time.perf_counter() - started
+            stats = self.stats.stages.get(stage.name)
+            if stats is not None:
+                stats.record(verdict)
+            verdicts.append(verdict)
+            if verdict.outcome.conclusive:
+                final = verdict.result
+                concluded_by = stage.name
+                break
+
+        if final is None:
+            self.stats.inconclusive += 1
+            final = EquivalenceResult(
+                equivalent=False, unknown=True,
+                reason="verification pipeline exhausted without a conclusive "
+                       "stage")
+        if self.options.enable_cache and concluded_by not in ("cache", "none"):
+            self.cache.store(candidate, final)
+        if final.counterexample is not None:
+            self.add_counterexample(final.counterexample)
+        return PipelineOutcome(result=final, verdicts=verdicts,
+                               concluded_by=concluded_by)

@@ -1,0 +1,161 @@
+"""Direct tests for EquivalenceCache: merge statistics accumulation and
+canonical-key collisions.
+
+The cache was previously exercised only indirectly through the parallel
+engine (`test_parallel_search.py`); these tests pin down its contract as a
+standalone component, in particular the two behaviours the pipeline relies
+on: coherent counter accumulation through ``merge`` and deterministic
+handling of programs whose canonical forms collide.
+"""
+
+import pytest
+
+from repro.bpf import BpfProgram, HookType, NOP, assemble, get_hook
+from repro.bpf.maps import MapEnvironment
+from repro.equivalence import EquivalenceCache, EquivalenceResult
+
+
+def prog(text, name="prog"):
+    return BpfProgram(instructions=assemble(text), hook=get_hook(HookType.XDP),
+                      maps=MapEnvironment(), name=name)
+
+
+def result(equivalent=True, reason=""):
+    return EquivalenceResult(equivalent=equivalent, reason=reason)
+
+
+class TestMergeStatistics:
+    def test_merge_accumulates_hits_misses_and_cross_chain(self):
+        controller = EquivalenceCache()
+        controller.lookup(prog("mov64 r0, 9\nexit"))  # controller's own miss
+
+        workers = []
+        for index in range(3):
+            worker = EquivalenceCache()
+            p = prog(f"mov64 r0, {index}\nexit")
+            worker.lookup(p)              # miss
+            worker.store(p, result())
+            worker.lookup(p)              # hit
+            worker.lookup(p)              # hit
+            workers.append(worker)
+
+        for worker in workers:
+            controller.merge(worker)
+
+        assert controller.hits == sum(w.hits for w in workers)
+        assert controller.misses == 1 + sum(w.misses for w in workers)
+        assert controller.num_entries == 3
+        stats = controller.stats()
+        assert stats["hits"] == 6 and stats["misses"] == 4
+        assert stats["hit_rate"] == pytest.approx(0.6)
+
+    def test_merge_without_counters_unions_entries_only(self):
+        worker = EquivalenceCache()
+        p = prog("mov64 r0, 1\nexit")
+        worker.lookup(p)
+        worker.store(p, result())
+        worker.lookup(p)
+
+        controller = EquivalenceCache()
+        controller.merge(worker, include_counters=False)
+        assert controller.num_entries == 1
+        assert controller.hits == 0 and controller.misses == 0
+
+    def test_merge_accumulates_cross_chain_hits(self):
+        origin = EquivalenceCache()
+        p = prog("mov64 r0, 1\nexit")
+        origin.store(p, result())
+
+        worker = EquivalenceCache()
+        worker.seed(origin.export_entries(), foreign=True)
+        worker.lookup(p)                  # a cross-chain hit
+        assert worker.cross_chain_hits == 1
+
+        controller = EquivalenceCache()
+        controller.merge(worker)
+        assert controller.cross_chain_hits == 1
+        # Foreign entries are NOT re-exported as the worker's discoveries.
+        assert controller.num_entries == 0
+
+    def test_merge_is_idempotent_on_entries(self):
+        worker = EquivalenceCache()
+        p = prog("mov64 r0, 1\nexit")
+        worker.store(p, result())
+        controller = EquivalenceCache()
+        controller.merge(worker, include_counters=False)
+        controller.merge(worker, include_counters=False)
+        assert controller.num_entries == 1
+
+
+class TestCanonicalKeyCollisions:
+    """Programs whose canonical forms collide must share one entry."""
+
+    def test_dead_code_variants_collide(self):
+        # A dead register move and a NOP both canonicalize away.
+        a = prog("mov64 r3, 5\nmov64 r0, 1\nexit")
+        b = prog("ja +0\nmov64 r0, 1\nexit")
+        c = prog("mov64 r0, 1\nexit")
+        key = EquivalenceCache.canonicalize
+        assert key(a) == key(b) == key(c)
+
+        cache = EquivalenceCache()
+        cache.store(a, result(reason="stored via a"))
+        assert cache.lookup(b) is not None
+        assert cache.lookup(c).reason == "stored via a"
+        assert cache.hits == 2 and cache.misses == 0
+        assert cache.num_entries == 1
+
+    def test_last_store_wins_on_collision(self):
+        a = prog("mov64 r3, 5\nmov64 r0, 1\nexit")
+        b = prog("ja +0\nmov64 r0, 1\nexit")
+        cache = EquivalenceCache()
+        cache.store(a, result(reason="first"))
+        cache.store(b, result(reason="second"))
+        assert cache.num_entries == 1
+        assert cache.lookup(a).reason == "second"
+
+    def test_semantically_distinct_programs_do_not_collide(self):
+        a = prog("mov64 r0, 1\nexit")
+        b = prog("mov64 r0, 2\nexit")
+        key = EquivalenceCache.canonicalize
+        assert key(a) != key(b)
+
+    def test_broken_cfg_falls_back_to_raw_structural_key(self):
+        # A jump off the end cannot be liveness-analysed; the canonical key
+        # must still be stable (raw structure) rather than raising.
+        broken = prog("ja +7\nmov64 r0, 1\nexit")
+        key = EquivalenceCache.canonicalize(broken)
+        assert key == EquivalenceCache.canonicalize(broken)
+        cache = EquivalenceCache()
+        cache.store(broken, result(equivalent=False))
+        assert cache.lookup(broken) is not None
+
+    def test_seed_respects_collision_precedence(self):
+        """A local entry is never clobbered by a colliding seeded entry."""
+        a = prog("mov64 r3, 5\nmov64 r0, 1\nexit")
+        b = prog("ja +0\nmov64 r0, 1\nexit")  # collides with a
+        cache = EquivalenceCache()
+        local = result(reason="local")
+        cache.store(a, local)
+        inserted = cache.seed(
+            {EquivalenceCache.canonicalize(b): result(reason="foreign")},
+            foreign=True)
+        assert inserted == 0
+        assert cache.lookup(b) is local
+        assert cache.cross_chain_hits == 0
+
+
+class TestCapacity:
+    def test_store_respects_max_entries(self):
+        cache = EquivalenceCache(max_entries=2)
+        for index in range(4):
+            cache.store(prog(f"mov64 r0, {index}\nexit"), result())
+        assert cache.num_entries == 2
+
+    def test_seed_respects_max_entries(self):
+        donor = EquivalenceCache()
+        for index in range(4):
+            donor.store(prog(f"mov64 r0, {index}\nexit"), result())
+        cache = EquivalenceCache(max_entries=2)
+        assert cache.seed(donor.export_entries(), foreign=True) == 2
+        assert cache.num_entries == 2

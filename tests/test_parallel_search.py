@@ -34,6 +34,14 @@ REDUNDANT = """
 """
 
 
+def verification_signature(stats):
+    """Per-stage verification counters without wall-clock fields."""
+    return tuple(sorted(
+        (stage, tuple(sorted((key, value) for key, value in counters.items()
+                             if key != "seconds")))
+        for stage, counters in stats.items()))
+
+
 def chain_signature(chain_result):
     """Everything about a ChainResult except wall-clock timing fields."""
     s = chain_result.statistics
@@ -42,7 +50,7 @@ def chain_signature(chain_result):
         s.test_failures, s.equivalence_checks, s.equivalence_cache_hits,
         s.counterexamples_added, s.verified_candidates,
         s.best_found_at_iteration, s.cross_chain_cache_hits,
-        s.counterexamples_received,
+        s.counterexamples_received, verification_signature(s.verification),
         tuple((c.program.structural_key(), c.perf_cost, c.instruction_count,
                c.found_at_iteration) for c in chain_result.candidates),
     )

@@ -1,10 +1,13 @@
 """Tests for the SAT solver, the bit-blaster and the Solver facade."""
 
+import random
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.smt import (
-    CNF, CheckResult, SatSolver, Solver, bool_and, bool_not, bool_or, bool_var,
+    CNF, CheckResult, IncrementalSatSolver, SatSolver, Solver, bool_and,
+    bool_not, bool_or, bool_var,
     bv_add, bv_and, bv_ashr, bv_concat, bv_const, bv_eq, bv_extract, bv_ite,
     bv_lshr, bv_mul, bv_ne, bv_or, bv_shl, bv_sign_extend, bv_sle, bv_slt,
     bv_sub, bv_udiv, bv_ule, bv_ult, bv_urem, bv_var, bv_xor, bv_zero_extend,
@@ -85,6 +88,166 @@ class TestSatSolver:
                     cnf.add_clause([-p[i][j], -p[k][j]])
         with pytest.raises(TimeoutError):
             SatSolver(cnf, max_conflicts=5).solve()
+
+
+class TestIncrementalSatSolver:
+    def test_clauses_added_between_solves(self):
+        solver = IncrementalSatSolver()
+        a = solver.new_var()
+        solver.add_clause([a])
+        assert solver.solve().satisfiable
+        b = solver.new_var()
+        solver.add_clause([-a, b])
+        result = solver.solve()
+        assert result.satisfiable and result.model[b] is True
+        solver.add_clause([-b])
+        assert not solver.solve().satisfiable
+
+    def test_assumptions_leave_no_trace(self):
+        solver = IncrementalSatSolver()
+        a, b = solver.new_var(), solver.new_var()
+        solver.add_clause([a, b])
+        assert not solver.solve([-a, -b]).satisfiable
+        assert solver.solve([-a, -b]).assumption_failed
+        assert solver.solve().satisfiable
+        assert solver.solve([-a]).satisfiable
+        assert solver.solve([-b]).satisfiable
+
+    def test_conflicting_assumptions(self):
+        solver = IncrementalSatSolver()
+        a = solver.new_var()
+        result = solver.solve([a, -a])
+        assert not result.satisfiable and result.assumption_failed
+
+    def test_unit_clause_added_after_solve_propagates(self):
+        """A clause that is unit under the level-0 assignment must fire."""
+        solver = IncrementalSatSolver()
+        a, b = solver.new_var(), solver.new_var()
+        solver.add_clause([a])
+        assert solver.solve().satisfiable
+        solver.add_clause([-a, b])       # unit under a=True
+        result = solver.solve()
+        assert result.satisfiable and result.model[b] is True
+
+    def test_learned_clauses_persist_and_stay_sound(self):
+        rng = random.Random(7)
+        solver = IncrementalSatSolver()
+        variables = [solver.new_var() for _ in range(30)]
+        clauses = []
+        for _ in range(120):
+            clause = [rng.choice(variables) * rng.choice([1, -1])
+                      for _ in range(3)]
+            clauses.append(clause)
+            solver.add_clause(clause)
+        first = solver.solve()
+        second = solver.solve()
+        assert first.satisfiable == second.satisfiable
+        if second.satisfiable:
+            for clause in clauses:
+                assert any(second.model[abs(l)] == (l > 0) for l in clause)
+
+    def test_timeout_then_recovery(self):
+        solver = IncrementalSatSolver(max_conflicts=5)
+        holes, pigeons = 5, 6
+        p = [[solver.new_var() for _ in range(holes)] for _ in range(pigeons)]
+        guard = solver.new_var()
+        for i in range(pigeons):
+            solver.add_clause([-guard] + p[i])
+        for j in range(holes):
+            for i in range(pigeons):
+                for k in range(i + 1, pigeons):
+                    solver.add_clause([-guard, -p[i][j], -p[k][j]])
+        with pytest.raises(TimeoutError):
+            solver.solve([guard])
+        # The pigeonhole clauses are disabled by retiring the guard; the
+        # solver must be reusable afterwards.
+        solver.add_clause([-guard])
+        assert solver.solve().satisfiable
+
+
+class TestIncrementalScopes:
+    def test_unsat_scope_then_sat_after_pop(self):
+        x = bv_var("sx", 16)
+        solver = Solver()
+        solver.add(bv_ult(x, bv_const(10, 16)))
+        token = solver.push()
+        solver.add(bv_ult(bv_const(20, 16), x))
+        assert solver.check() == CheckResult.UNSAT
+        solver.pop(token)
+        assert solver.check() == CheckResult.SAT
+        assert solver.model()[x] < 10
+
+    def test_nested_scopes(self):
+        x = bv_var("nx", 16)
+        solver = Solver()
+        outer = solver.push()
+        solver.add(bv_ult(x, bv_const(10, 16)))
+        inner = solver.push()
+        solver.add(bv_ult(bv_const(20, 16), x))
+        assert solver.check() == CheckResult.UNSAT
+        solver.pop(inner)
+        assert solver.check() == CheckResult.SAT
+        solver.pop(outer)
+        assert solver.check() == CheckResult.SAT
+        assert solver.assertions == []
+
+    def test_check_with_expression_assumptions(self):
+        x = bv_var("ax", 16)
+        solver = Solver()
+        solver.add(bv_ult(x, bv_const(10, 16)))
+        assert solver.check([bv_eq(x, bv_const(5, 16))]) == CheckResult.SAT
+        assert solver.model()[x] == 5
+        assert solver.check([bv_eq(x, bv_const(50, 16))]) == CheckResult.UNSAT
+        assert solver.check() == CheckResult.SAT
+
+    def test_scoped_queries_match_fresh_solver(self):
+        """Differential: one incremental solver vs. a fresh solver per query."""
+        rng = random.Random(3)
+        a, b = bv_var("da", 8), bv_var("db", 8)
+        operators = [bv_add, bv_sub, bv_mul, bv_and, bv_or, bv_xor]
+        predicates = [bv_ult, bv_ule, bv_eq]
+
+        def random_predicate():
+            term = rng.choice(operators)(
+                rng.choice([a, b, bv_const(rng.randrange(256), 8)]),
+                rng.choice([a, b, bv_const(rng.randrange(256), 8)]))
+            pred = rng.choice(predicates)(term,
+                                          bv_const(rng.randrange(256), 8))
+            return bool_not(pred) if rng.random() < 0.4 else pred
+
+        base = [random_predicate() for _ in range(2)]
+        incremental = Solver()
+        for expr in base:
+            incremental.add(expr)
+        for _ in range(12):
+            scoped = [random_predicate() for _ in range(2)]
+            token = incremental.push()
+            for expr in scoped:
+                incremental.add(expr)
+            got = incremental.check()
+            reference = Solver()
+            for expr in base + scoped:
+                reference.add(expr)
+            assert got == reference.check()
+            if got == CheckResult.SAT:
+                model = incremental.model()
+                for expr in base + scoped:
+                    assert model.evaluate(expr)
+            incremental.pop(token)
+
+    def test_popped_scope_vars_are_rebindable(self):
+        """Reusing a variable name after pop must take the new constraints."""
+        x = bv_var("rb", 16)
+        solver = Solver()
+        token = solver.push()
+        solver.add(bv_eq(x, bv_const(1, 16)))
+        assert solver.check() == CheckResult.SAT
+        solver.pop(token)
+        token = solver.push()
+        solver.add(bv_eq(x, bv_const(2, 16)))
+        assert solver.check() == CheckResult.SAT
+        assert solver.model()[x] == 2
+        solver.pop(token)
 
 
 X = bv_var("x", 64)
