@@ -1,0 +1,160 @@
+"""Interpreter throughput: decode-once engine vs. the legacy interpreter.
+
+Every MCMC proposal is replayed on the pooled test inputs before any solver
+query, so interpreter throughput bounds end-to-end synthesis speed (paper
+§3.2).  This bench measures the two execution engines on corpus programs in
+the two shapes the search actually produces:
+
+* **steady state** — one program executed over a test suite repeatedly
+  (the accept/reject inner loop on an unchanged current program);
+* **proposal churn** — a fresh single-instruction mutation per batch (every
+  decode is a cache miss at the program level, but unchanged instructions
+  come from the per-instruction memo).
+
+Throughput is reported in executed instructions per second (the engines are
+bit-identical, so both execute exactly the same steps; the bench asserts
+that).  The acceptance gate is on the aggregate steady-state speedup:
+``decoded >= MIN_SPEEDUP x legacy``.
+
+Environment knobs: ``K2_BENCH_SMOKE=1`` shrinks the program list and pass
+counts for CI smoke runs; ``K2_BENCH_JSON=path`` writes a JSON summary (the
+``BENCH_*.json`` perf trajectory).
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.bpf.instruction import NOP
+from repro.corpus import get_benchmark
+from repro.engine import ExecutionEngine
+from repro.interpreter import Interpreter
+from repro.synthesis.testcases import TestCaseGenerator as InputGenerator
+
+from harness import print_table
+
+SMOKE = os.environ.get("K2_BENCH_SMOKE", "") not in ("", "0")
+BENCHMARKS = ["xdp_exception", "xdp_pktcntr", "xdp1", "xdp_fw",
+              "xdp_map_access", "xdp-balancer"]
+if SMOKE:
+    BENCHMARKS = ["xdp_exception", "xdp1"]
+NUM_TESTS = 8 if SMOKE else 16
+PASSES = 10 if SMOKE else 30
+CHURN_PROPOSALS = 20 if SMOKE else 60
+JSON_PATH = os.environ.get("K2_BENCH_JSON", "")
+
+#: Acceptance bar for the decode-once engine, asserted on the aggregate
+#: steady-state throughput ratio.
+MIN_SPEEDUP = 3.0
+
+
+def _measure_steady(engine, program, tests, passes):
+    """(executed instructions, seconds) for repeated batches of one program."""
+    steps = 0
+    started = time.perf_counter()
+    for _ in range(passes):
+        for output in engine.run_batch(program, tests):
+            steps += output.steps
+    return steps, time.perf_counter() - started
+
+
+def _measure_churn(engine, program, tests, proposals):
+    """(instructions, seconds) with a fresh one-instruction mutation per batch.
+
+    Models the MCMC shape: each proposal NOPs a different instruction, so
+    whole-program decode misses every time while the per-instruction memo
+    carries everything outside the mutated window.
+    """
+    variants = []
+    for index in range(proposals):
+        instructions = list(program.instructions)
+        instructions[index % (len(instructions) - 1)] = NOP
+        variants.append(program.with_instructions(instructions))
+    steps = 0
+    started = time.perf_counter()
+    for variant in variants:
+        for output in engine.run_batch(variant, tests):
+            steps += output.steps
+    return steps, time.perf_counter() - started
+
+
+def _run_all():
+    rows = []
+    summary = []
+    total_legacy_steps = total_legacy_seconds = 0.0
+    total_decoded_steps = total_decoded_seconds = 0.0
+    for name in BENCHMARKS:
+        program = get_benchmark(name).program()
+        tests = InputGenerator(program, seed=11).generate(NUM_TESTS)
+        legacy = Interpreter()
+        decoded = ExecutionEngine()
+        # Warm both engines (decode + machine allocation outside the timers)
+        # and assert the engines agree before trusting the step counts.
+        warm_legacy = legacy.run_batch(program, tests)
+        warm_decoded = decoded.run_batch(program, tests)
+        assert [o.steps for o in warm_legacy] == [o.steps for o in warm_decoded]
+        assert [o.observable() for o in warm_legacy] == \
+            [o.observable() for o in warm_decoded]
+
+        legacy_steps, legacy_seconds = _measure_steady(
+            legacy, program, tests, PASSES)
+        decoded_steps, decoded_seconds = _measure_steady(
+            decoded, program, tests, PASSES)
+        _, churn_legacy_seconds = _measure_churn(
+            legacy, program, tests, CHURN_PROPOSALS)
+        churn_steps, churn_decoded_seconds = _measure_churn(
+            decoded, program, tests, CHURN_PROPOSALS)
+
+        total_legacy_steps += legacy_steps
+        total_legacy_seconds += legacy_seconds
+        total_decoded_steps += decoded_steps
+        total_decoded_seconds += decoded_seconds
+
+        legacy_tput = legacy_steps / max(legacy_seconds, 1e-9)
+        decoded_tput = decoded_steps / max(decoded_seconds, 1e-9)
+        churn_speedup = churn_legacy_seconds / max(churn_decoded_seconds, 1e-9)
+        cache = decoded.stats()
+        rows.append([
+            name, len(program.instructions),
+            f"{legacy_tput / 1e3:,.0f}", f"{decoded_tput / 1e3:,.0f}",
+            f"{decoded_tput / legacy_tput:.1f}x",
+            f"{churn_speedup:.1f}x",
+            f"{cache['instructions_reused']:,}",
+        ])
+        summary.append({
+            "benchmark": name, "instructions": len(program.instructions),
+            "legacy_kinsn_per_s": round(legacy_tput / 1e3, 1),
+            "decoded_kinsn_per_s": round(decoded_tput / 1e3, 1),
+            "steady_speedup": round(decoded_tput / legacy_tput, 2),
+            "churn_speedup": round(churn_speedup, 2),
+            "decode_cache": cache,
+            "churn_steps": churn_steps,
+        })
+
+    aggregate = ((total_decoded_steps / max(total_decoded_seconds, 1e-9))
+                 / (total_legacy_steps / max(total_legacy_seconds, 1e-9)))
+    print_table(
+        "Interpreter throughput: decode-once engine vs. legacy interpreter "
+        "(kinsn/s)",
+        ["benchmark", "#inst", "legacy", "decoded", "speedup",
+         "churn speedup", "insns reused"], rows)
+    print(f"\naggregate steady-state speedup (decoded / legacy): "
+          f"{aggregate:.2f}x (bar: {MIN_SPEEDUP}x)")
+    if JSON_PATH:
+        with open(JSON_PATH, "w", encoding="utf-8") as handle:
+            json.dump({"table": "interp_throughput", "smoke": SMOKE,
+                       "aggregate_speedup": round(aggregate, 2),
+                       "min_speedup_gate": MIN_SPEEDUP,
+                       "rows": summary}, handle, indent=2)
+    return rows, aggregate
+
+
+@pytest.mark.benchmark(group="interp_throughput")
+def test_interpreter_throughput(benchmark):
+    rows, aggregate = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    assert len(rows) == len(BENCHMARKS)
+    assert aggregate >= MIN_SPEEDUP, (
+        f"decoded engine must be at least {MIN_SPEEDUP}x faster than the "
+        f"legacy interpreter on corpus programs, got {aggregate:.2f}x")

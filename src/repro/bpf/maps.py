@@ -67,6 +67,10 @@ class MapState:
     return genuine pointers the program can do arithmetic on.
     """
 
+    #: Map types whose entries are pre-populated and cannot be deleted.
+    _ARRAY_LIKE = (MapType.ARRAY, MapType.PERCPU_ARRAY, MapType.DEVMAP,
+                   MapType.CPUMAP)
+
     def __init__(self, definition: MapDef, base_address: Optional[int] = None):
         self.definition = definition
         self._entries: Dict[bytes, bytearray] = {}
@@ -74,13 +78,41 @@ class MapState:
         self._base = base_address if base_address is not None else (
             MAP_VALUE_BASE + definition.fd * 0x100_0000)
         self._next_slot = 0
-        if definition.map_type in (MapType.ARRAY, MapType.PERCPU_ARRAY,
-                                   MapType.DEVMAP, MapType.CPUMAP):
+        self._zero_value = bytes(definition.value_size)
+        #: Keys whose value buffer may have been mutated since the last
+        #: reset (update() or a handed-out value_buffer()); lets reset()
+        #: skip re-zeroing untouched pre-populated entries.
+        self._dirty: set = set()
+        if definition.map_type in self._ARRAY_LIKE:
             # Array-like maps are pre-populated with zeroed values, matching
             # kernel behaviour: lookups of any index < max_entries succeed.
             for index in range(definition.max_entries):
                 key = index.to_bytes(definition.key_size, "little")
                 self._allocate(key)
+
+    def reset(self) -> None:
+        """Restore the pristine post-construction state, reusing buffers.
+
+        The reusable machine state of :mod:`repro.engine` calls this between
+        test cases instead of re-instantiating every map.  The address
+        allocation sequence is replayed in construction order, so the flat
+        value addresses handed out after a reset are identical to those of a
+        freshly built :class:`MapState`.
+        """
+        if self.definition.map_type not in self._ARRAY_LIKE:
+            self._entries.clear()
+            self._addresses.clear()
+            self._next_slot = 0
+            self._dirty.clear()
+            return
+        # Array-like maps can neither gain keys (an update of a novel key is
+        # rejected as table-full, the table being pre-populated) nor lose
+        # them (delete is refused), so the dict layout and addresses stay
+        # pristine forever — only the touched value buffers need re-zeroing.
+        zero = self._zero_value
+        for key in self._dirty:
+            self._entries[key][:] = zero
+        self._dirty.clear()
 
     # ------------------------------------------------------------------ #
     def _allocate(self, key: bytes) -> int:
@@ -120,6 +152,7 @@ class MapState:
             return -1  # -E2BIG, table full
         self._allocate(key)
         self._entries[key][:] = value
+        self._dirty.add(key)
         return 0
 
     def delete(self, key: bytes) -> int:
@@ -144,9 +177,14 @@ class MapState:
         return False
 
     def value_buffer(self, address: int) -> tuple[bytearray, int]:
-        """Return ``(buffer, offset)`` for a flat address inside a value."""
+        """Return ``(buffer, offset)`` for a flat address inside a value.
+
+        The returned buffer is mutable, so the owning key is conservatively
+        marked dirty (reset() re-zeroes only dirty pre-populated entries).
+        """
         for key, base in self._addresses.items():
             if base <= address < base + self.definition.value_size:
+                self._dirty.add(key)
                 return self._entries[key], address - base
         raise KeyError(f"address {address:#x} not inside map {self.definition.name}")
 

@@ -9,6 +9,7 @@ pseudo instructions refer to).
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 from typing import Iterable, List, Optional, Sequence
 
 from .hooks import Hook, HookType, get_hook
@@ -146,6 +147,41 @@ class BpfProgram:
 
     def same_instructions(self, other: "BpfProgram") -> bool:
         return self.structural_key() == other.structural_key()
+
+    def content_key(self) -> tuple:
+        """Exact hashable key over everything execution depends on.
+
+        Covers the instruction sequence, the hook (context layout) and the
+        map definitions — two programs with equal content keys execute
+        identically on every test input, which is what makes this safe as a
+        decode-cache key.  Cached on the instance: instructions are immutable
+        by convention (:meth:`with_instructions` derives new programs), so
+        repeated cache probes on the same object cost one dict lookup.
+        """
+        key = self.__dict__.get("_content_key")
+        if key is None:
+            key = (
+                self.structural_key(),
+                self.hook.name,
+                tuple((d.fd, d.map_type.value, d.key_size, d.value_size,
+                       d.max_entries) for d in self.maps.definitions()),
+            )
+            self.__dict__["_content_key"] = key
+        return key
+
+    def content_hash(self) -> int:
+        """Stable 64-bit digest of :meth:`content_key` (logs / diagnostics).
+
+        Collision-tolerant uses only: caches that must never confuse two
+        programs key on the full :meth:`content_key` tuple instead.
+        """
+        value = self.__dict__.get("_content_hash")
+        if value is None:
+            digest = hashlib.blake2b(repr(self.content_key()).encode("utf-8"),
+                                     digest_size=8)
+            value = int.from_bytes(digest.digest(), "big")
+            self.__dict__["_content_hash"] = value
+        return value
 
 
 def iter_real_instructions(instructions: Iterable[Instruction]):

@@ -3,6 +3,7 @@
 Examples::
 
     k2 optimize program.s --hook xdp --iterations 2000
+    k2 optimize --benchmark xdp_pktcntr --engine legacy   # engine ablation
     k2 check program.s --hook xdp
     k2 corpus --list
 """
@@ -42,7 +43,8 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
                           num_parameter_settings=args.settings, seed=args.seed,
                           num_workers=args.num_workers, executor=args.executor,
                           sync_interval=args.sync_interval,
-                          verify_stages=args.verify_pipeline)
+                          verify_stages=args.verify_pipeline,
+                          engine=args.engine)
     result = compiler.optimize(program)
     print(result.summary())
     print()
@@ -116,6 +118,14 @@ def main(argv=None) -> int:
                                "(equivalence-cache entries and "
                                "counterexamples); omit to run each chain to "
                                "completion without mid-run sharing")
+    optimize.add_argument("--engine", default="decoded",
+                          choices=["decoded", "legacy"],
+                          help="candidate execution engine: 'decoded' runs "
+                               "pre-decoded micro-ops with a decode cache "
+                               "and reusable machine state (fast), 'legacy' "
+                               "is the reference per-step interpreter kept "
+                               "for ablation; both produce bit-identical "
+                               "results (default: %(default)s)")
     optimize.add_argument("--verify-pipeline", default=None, metavar="STAGES",
                           help="comma-separated verification stages to enable, "
                                "in escalation order, from: replay, cache, "

@@ -124,6 +124,7 @@ class K2Compiler:
                  sync_interval: Optional[int] = None,
                  verify_stages: Optional[str] = None,
                  equivalence: Optional[EquivalenceOptions] = None,
+                 engine: str = "decoded",
                  options: Optional[SearchOptions] = None):
         if options is not None and (verify_stages is not None
                                     or equivalence is not None):
@@ -148,7 +149,8 @@ class K2Compiler:
                 num_workers=num_workers,
                 executor=executor,
                 sync_interval=sync_interval,
-                equivalence=equivalence)
+                equivalence=equivalence,
+                engine=engine)
         self.options = options
         self.kernel_checker = KernelChecker()
 

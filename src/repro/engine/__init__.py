@@ -1,0 +1,27 @@
+"""Decode-once batched execution engine for the synthesis hot loop.
+
+The package splits execution into three layers:
+
+* :mod:`repro.engine.decode` — per-instruction micro-op compilation with an
+  instruction memo and an LRU whole-program decode cache;
+* :mod:`repro.engine.machine` — machine state allocated once and rewound in
+  place between test cases;
+* :mod:`repro.engine.engine` — the :class:`ExecutionEngine` run loop, the
+  batched ``run_batch`` API and the :func:`create_engine` factory behind the
+  ``--engine legacy|decoded`` ablation knob.
+
+Outputs are bit-identical to :class:`repro.interpreter.Interpreter`; the
+engine only changes *when* dispatch and allocation work happens.
+"""
+
+from .decode import DecodedProgram, MicroOp, ProgramDecoder, compile_instruction
+from .engine import (
+    DEFAULT_ENGINE_KIND, ENGINE_KINDS, ExecutionEngine, create_engine,
+)
+from .machine import ResettableMachine
+
+__all__ = [
+    "DecodedProgram", "MicroOp", "ProgramDecoder", "compile_instruction",
+    "DEFAULT_ENGINE_KIND", "ENGINE_KINDS", "ExecutionEngine", "create_engine",
+    "ResettableMachine",
+]

@@ -1,0 +1,226 @@
+"""The decode-once batched execution engine.
+
+:class:`ExecutionEngine` is the hot-loop replacement for the legacy
+:class:`~repro.interpreter.Interpreter`.  It factors one execution into the
+three costs the legacy interpreter pays on *every step* and hoists two of
+them out of the loop:
+
+* **dispatch** — resolved once per instruction at decode time
+  (:mod:`repro.engine.decode`), cached across proposals;
+* **state setup** — machine buffers allocated once and rewound in place
+  between runs (:mod:`repro.engine.machine`);
+* **semantics** — shared with the legacy interpreter through
+  :mod:`repro.semantics`, so outputs are bit-identical.
+
+``run(program, test)`` matches ``Interpreter.run`` exactly;
+``run_batch(program, tests)`` amortizes the decode and machine setup over a
+whole test suite, which is the shape of every hot-loop consumer (the MCMC
+accept/reject step, the verification pipeline's replay stage, the perf rig).
+
+:func:`create_engine` builds either engine from the ``--engine
+legacy|decoded`` ablation knob; both expose the same ``run`` / ``run_batch``
+surface.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from ..bpf.instruction import Instruction
+from ..bpf.program import BpfProgram
+from ..interpreter.errors import (
+    BpfFault,
+    InstructionLimitExceeded,
+    InvalidJumpTarget,
+)
+from ..interpreter.interpreter import DEFAULT_STEP_LIMIT, Interpreter
+from ..interpreter.state import ProgramInput, ProgramOutput
+from .decode import DecodedProgram, ProgramDecoder
+from .machine import ResettableMachine
+
+__all__ = ["ExecutionEngine", "create_engine", "ENGINE_KINDS",
+           "DEFAULT_ENGINE_KIND"]
+
+#: Engine kinds accepted by :func:`create_engine` and the CLI ``--engine``.
+ENGINE_KINDS = ("decoded", "legacy")
+DEFAULT_ENGINE_KIND = "decoded"
+
+
+class ExecutionEngine:
+    """Executes BPF programs through pre-decoded micro-ops.
+
+    Drop-in compatible with :class:`~repro.interpreter.Interpreter` (same
+    constructor semantics, same ``run`` contract, bit-identical outputs) but
+    designed to be *long-lived*: one engine per hot-loop consumer, so its
+    decode cache and reusable machine state persist across the thousands of
+    candidate executions of a synthesis run.
+
+    Args:
+        step_limit: dynamic instruction budget per run.
+        opcode_cost_fn: optional per-instruction cost model; evaluated once
+            per instruction at decode time (not once per executed step) and
+            accumulated into ``ProgramOutput.estimated_ns`` in execution
+            order, so totals match the legacy interpreter bit-for-bit.
+        strict_uninitialized: fault on reads of uninitialized registers or
+            stack bytes (compiled into the micro-ops).
+        decode_cache_size: LRU capacity of the whole-program decode cache.
+    """
+
+    kind = "decoded"
+
+    def __init__(self, step_limit: int = DEFAULT_STEP_LIMIT,
+                 opcode_cost_fn: Optional[Callable[[Instruction], float]] = None,
+                 strict_uninitialized: bool = True,
+                 decode_cache_size: int = 512):
+        self.step_limit = step_limit
+        self.opcode_cost_fn = opcode_cost_fn
+        self.strict_uninitialized = strict_uninitialized
+        self._decoder = ProgramDecoder(
+            strict_uninitialized=strict_uninitialized,
+            opcode_cost_fn=opcode_cost_fn,
+            cache_size=decode_cache_size)
+        self._machine: Optional[ResettableMachine] = None
+        self.runs = 0
+
+    # ------------------------------------------------------------------ #
+    # Pickling: engines travel inside MarkovChain work units to process
+    # pools.  Micro-ops are closures (unpicklable) and the machine is pure
+    # scratch, so only the configuration crosses the boundary; caches
+    # rebuild lazily on the other side.
+    # ------------------------------------------------------------------ #
+    def __getstate__(self):
+        return {"step_limit": self.step_limit,
+                "opcode_cost_fn": self.opcode_cost_fn,
+                "strict_uninitialized": self.strict_uninitialized,
+                "decode_cache_size": self._decoder.cache_size}
+
+    def __setstate__(self, state):
+        self.__init__(**state)
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def decode(self, program: BpfProgram) -> DecodedProgram:
+        """Decode ``program`` (or fetch it from the LRU decode cache)."""
+        return self._decoder.decode(program)
+
+    def run(self, program: BpfProgram, test: ProgramInput) -> ProgramOutput:
+        """Execute ``program`` on ``test``; faults are reported, not raised."""
+        decoded = self.decode(program)
+        machine = self._machine_for(program)
+        machine.reset(test)
+        return self._execute(decoded, machine)
+
+    def run_batch(self, program: BpfProgram, tests: Sequence[ProgramInput],
+                  stop_on_first_fault: bool = False) -> List[ProgramOutput]:
+        """Execute ``program`` on every test, decoding once.
+
+        With ``stop_on_first_fault`` the batch ends after the first faulting
+        output (which is included in the returned list) — callers that only
+        need to know *whether* a candidate misbehaves can skip the rest.
+        """
+        decoded = self.decode(program)
+        machine = self._machine_for(program)
+        outputs: List[ProgramOutput] = []
+        for test in tests:
+            machine.reset(test)
+            output = self._execute(decoded, machine)
+            outputs.append(output)
+            if stop_on_first_fault and output.fault is not None:
+                break
+        return outputs
+
+    def stats(self) -> dict:
+        """Decode-cache and run counters (benchmark / diagnostic surface)."""
+        summary = self._decoder.stats()
+        summary["runs"] = self.runs
+        return summary
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _machine_for(self, program: BpfProgram) -> ResettableMachine:
+        machine = self._machine
+        # Identity checks catch a different hook/environment; the definition
+        # comparison catches in-place mutation of a shared MapEnvironment
+        # (MapEnvironment.add after this engine's first run).
+        if (machine is None or machine.hook is not program.hook
+                or machine.maps_env is not program.maps
+                or machine.map_defs != tuple(program.maps.definitions())):
+            machine = ResettableMachine(program.hook, program.maps)
+            self._machine = machine
+        return machine
+
+    def _execute(self, decoded: DecodedProgram,
+                 machine: ResettableMachine) -> ProgramOutput:
+        ops = decoded.ops
+        costs = decoded.costs
+        num_insns = len(ops)
+        limit = self.step_limit
+        output = ProgramOutput()
+        estimated = 0.0
+        steps = 0
+        pc = 0
+        self.runs += 1
+        try:
+            if costs is None:
+                while True:
+                    if steps >= limit:
+                        raise InstructionLimitExceeded(
+                            f"exceeded {limit} steps", pc)
+                    if not 0 <= pc < num_insns:
+                        raise InvalidJumpTarget(f"pc {pc} outside program", pc)
+                    steps += 1
+                    next_pc = ops[pc](machine, pc)
+                    if next_pc is None:
+                        output.return_value = machine.exit_value
+                        break
+                    pc = next_pc
+            else:
+                while True:
+                    if steps >= limit:
+                        raise InstructionLimitExceeded(
+                            f"exceeded {limit} steps", pc)
+                    if not 0 <= pc < num_insns:
+                        raise InvalidJumpTarget(f"pc {pc} outside program", pc)
+                    steps += 1
+                    estimated += costs[pc]
+                    next_pc = ops[pc](machine, pc)
+                    if next_pc is None:
+                        output.return_value = machine.exit_value
+                        break
+                    pc = next_pc
+        except BpfFault as fault:
+            output.fault = f"{type(fault).__name__}: {fault}"
+            output.return_value = None
+        output.steps = steps
+        output.estimated_ns = estimated
+        output.packet = machine.packet_bytes()
+        output.maps = machine.snapshot_maps()
+        return output
+
+
+def create_engine(kind: Optional[str] = None,
+                  step_limit: int = DEFAULT_STEP_LIMIT,
+                  opcode_cost_fn: Optional[Callable[[Instruction], float]] = None,
+                  strict_uninitialized: bool = True,
+                  decode_cache_size: int = 512):
+    """Build an execution engine for the ``--engine legacy|decoded`` knob.
+
+    ``None`` (and ``"auto"``) select the decoded engine; ``"legacy"`` returns
+    the reference interpreter with the same run/run_batch surface, which is
+    the ablation baseline the throughput bench measures against.
+    """
+    if kind is None or kind == "auto":
+        kind = DEFAULT_ENGINE_KIND
+    if kind == "decoded":
+        return ExecutionEngine(step_limit=step_limit,
+                               opcode_cost_fn=opcode_cost_fn,
+                               strict_uninitialized=strict_uninitialized,
+                               decode_cache_size=decode_cache_size)
+    if kind == "legacy":
+        return Interpreter(step_limit=step_limit,
+                           opcode_cost_fn=opcode_cost_fn,
+                           strict_uninitialized=strict_uninitialized)
+    raise ValueError(
+        f"unknown engine kind {kind!r}; choose from {ENGINE_KINDS}")

@@ -1,0 +1,110 @@
+"""Reusable machine state for the decode-once execution engine.
+
+The legacy interpreter allocates a fresh :class:`~repro.interpreter.state.
+MachineState` — registers, 512-byte stack, packet buffer, context struct and
+every map's runtime state — for every test case it runs.  Inside the MCMC
+hot loop that allocation happens tens of thousands of times per second and
+dominates the cost of short programs.  :class:`ResettableMachine` allocates
+those buffers once and rewinds them in place between runs:
+
+* registers and initialization flags are cleared,
+* the stack and its initialization shadow are zero-filled into the existing
+  ``bytearray`` objects,
+* the packet buffer is resized/refilled in place from the test's packet,
+* maps are rewound through :meth:`repro.bpf.maps.MapState.reset`, which
+  replays the address allocation sequence so flat value addresses are
+  identical to a freshly instantiated map.
+
+The reset observably matches construction: a machine reset for test *t*
+behaves bit-for-bit like ``MachineState(hook, maps, t)`` (the differential
+engine tests run both engines over batches to enforce this).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..bpf.hooks import Hook
+from ..bpf.maps import MapEnvironment
+from ..bpf.opcodes import STACK_SIZE
+from ..bpf.regions import CTX_BASE, STACK_BASE
+from ..interpreter.state import MachineState, PACKET_HEADROOM, ProgramInput
+
+__all__ = ["ResettableMachine"]
+
+_ZERO_STACK = bytes(STACK_SIZE)
+_ZERO_HEADROOM = bytes(PACKET_HEADROOM)
+
+
+class ResettableMachine(MachineState):
+    """A :class:`MachineState` whose buffers are reused across runs.
+
+    Construction allocates everything once for a (hook, map environment)
+    pair; :meth:`reset` rewinds the state for the next test case.  The
+    machine is only valid for programs sharing that hook and map
+    environment — the owning engine rebuilds it when they change.
+    """
+
+    def __init__(self, hook: Hook, maps: MapEnvironment):
+        self.hook = hook
+        self.maps_env = maps
+        #: Definition snapshot: lets the engine detect in-place mutation of
+        #: a shared MapEnvironment and rebuild the machine.
+        self.map_defs = tuple(maps.definitions())
+        self.test: Optional[ProgramInput] = None
+        self.regs: List[int] = [0] * 11
+        self.reg_initialized = [False] * 11
+        self.stack = bytearray(STACK_SIZE)
+        self.stack_initialized = bytearray(STACK_SIZE)
+        self.packet_buffer = bytearray(PACKET_HEADROOM)
+        self.packet_start = PACKET_HEADROOM
+        self.packet_end = PACKET_HEADROOM
+        self.ctx = bytearray(hook.ctx_size)
+        self._zero_ctx = bytes(hook.ctx_size)
+        self.maps = maps.instantiate()
+        self._random_cursor = 0
+        self.helper_trace: List[tuple] = []
+        #: Set by the EXIT micro-op; read by the engine's run loop.
+        self.exit_value: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    def reset(self, test: ProgramInput) -> None:
+        """Rewind every buffer for ``test`` (same effect as reconstruction)."""
+        self.test = test
+        regs = self.regs
+        initialized = self.reg_initialized
+        for index in range(11):
+            regs[index] = 0
+            initialized[index] = False
+
+        self.stack[:] = _ZERO_STACK
+        self.stack_initialized[:] = _ZERO_STACK
+
+        packet = test.packet
+        buffer = self.packet_buffer
+        buffer[:PACKET_HEADROOM] = _ZERO_HEADROOM
+        buffer[PACKET_HEADROOM:] = packet       # resizes in place
+        self.packet_start = PACKET_HEADROOM
+        self.packet_end = PACKET_HEADROOM + len(packet)
+
+        self.ctx[:] = self._zero_ctx
+        self._populate_ctx()
+
+        maps = self.maps
+        for state in maps.values():
+            state.reset()
+        for fd, entries in test.map_contents.items():
+            if fd not in maps:
+                continue
+            for key, value in entries.items():
+                maps[fd].update(key, value)
+
+        self._random_cursor = 0
+        self.helper_trace = []
+        self.exit_value = None
+
+        # Register ABI: r1 = ctx pointer, r10 = frame pointer.
+        regs[1] = CTX_BASE
+        initialized[1] = True
+        regs[10] = STACK_BASE + STACK_SIZE
+        initialized[10] = True

@@ -13,7 +13,8 @@ interpreter and the verification-condition generator from one specification.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+import threading
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..bpf.helpers import HelperId, XDP_REDIRECT, helper_spec
 from ..bpf.instruction import Instruction
@@ -28,7 +29,7 @@ from ..bpf.regions import (
     MemRegion,
     region_for_address,
 )
-from ..semantics import alu_op_concrete, jump_taken_concrete
+from ..semantics import alu_op_concrete, byteswap, jump_taken_concrete
 from .errors import (
     BpfFault,
     InstructionLimitExceeded,
@@ -42,14 +43,22 @@ from .errors import (
 )
 from .state import MAP_PTR_BASE, MachineState, ProgramInput, ProgramOutput
 
-__all__ = ["Interpreter", "run_program"]
+__all__ = ["Interpreter", "run_program", "DEFAULT_STEP_LIMIT"]
 
 _U64 = (1 << 64) - 1
-_DEFAULT_STEP_LIMIT = 65536
+DEFAULT_STEP_LIMIT = 65536
+_DEFAULT_STEP_LIMIT = DEFAULT_STEP_LIMIT
 
 
 class Interpreter:
     """Executes BPF programs on concrete test inputs.
+
+    This is the reference ("legacy") execution engine: it re-dispatches on the
+    instruction's opcode properties at every step.  The decode-once engine in
+    :mod:`repro.engine` is the hot-loop implementation; this class remains the
+    behavioural oracle (differential tests compare the two bit-for-bit) and
+    the ``--engine legacy`` ablation target, and it exposes the same
+    ``run`` / ``run_batch`` surface so the two are interchangeable.
 
     Args:
         step_limit: dynamic instruction budget (protects against looping
@@ -63,6 +72,8 @@ class Interpreter:
             when False such reads return zero (useful for differential
             testing of the symbolic encoder).
     """
+
+    kind = "legacy"
 
     def __init__(self, step_limit: int = _DEFAULT_STEP_LIMIT,
                  opcode_cost_fn: Optional[Callable[[Instruction], float]] = None,
@@ -91,6 +102,23 @@ class Interpreter:
         output.packet = state.packet_bytes()
         output.maps = state.snapshot_maps()
         return output
+
+    def run_batch(self, program: BpfProgram, tests: Sequence[ProgramInput],
+                  stop_on_first_fault: bool = False) -> List[ProgramOutput]:
+        """Execute ``program`` on every test, in order.
+
+        Mirrors :meth:`repro.engine.ExecutionEngine.run_batch` so the legacy
+        interpreter can stand in for the decoded engine in ablations.  With
+        ``stop_on_first_fault`` the batch ends after the first faulting
+        output (which is included in the returned list).
+        """
+        outputs: List[ProgramOutput] = []
+        for test in tests:
+            output = self.run(program, test)
+            outputs.append(output)
+            if stop_on_first_fault and output.fault is not None:
+                break
+        return outputs
 
     # ------------------------------------------------------------------ #
     # Execution loop
@@ -411,13 +439,32 @@ class Interpreter:
         return 0
 
 
-def _byteswap(value: int, width_bits: int) -> int:
-    width_bytes = width_bits // 8
-    data = (value & ((1 << width_bits) - 1)).to_bytes(width_bytes, "little")
-    return int.from_bytes(data, "big")
+#: Shared with the symbolic layer through :mod:`repro.semantics`; kept under
+#: the old private name for callers inside this package.
+_byteswap = byteswap
+
+#: Per-thread default engine reused by :func:`run_program`, so convenience
+#: calls in loops do not rebuild an engine (and re-decode) per invocation.
+#: Thread-local because an engine's machine state is scratch shared across
+#: its runs — the pre-engine, fresh-interpreter-per-call behaviour was
+#: thread-safe and this keeps the convenience API that way.
+_thread_engines = threading.local()
 
 
 def run_program(program: BpfProgram, test: ProgramInput,
                 **kwargs) -> ProgramOutput:
-    """Convenience wrapper: execute ``program`` on ``test`` once."""
-    return Interpreter(**kwargs).run(program, test)
+    """Convenience wrapper: execute ``program`` on ``test`` once.
+
+    Calls with default settings share one long-lived decode-once engine per
+    thread (its decode cache makes repeated calls on the same program
+    cheap); explicit keyword arguments fall back to a one-shot legacy
+    interpreter with exactly those settings.
+    """
+    if kwargs:
+        return Interpreter(**kwargs).run(program, test)
+    engine = getattr(_thread_engines, "engine", None)
+    if engine is None:
+        from ..engine import ExecutionEngine
+
+        engine = _thread_engines.engine = ExecutionEngine()
+    return engine.run(program, test)

@@ -30,6 +30,7 @@ from ..bpf.instruction import Instruction
 from ..bpf.maps import MapDef, MapEnvironment, MapType
 from ..bpf.opcodes import AluOp, MemSize
 from ..bpf.program import BpfProgram
+from ..engine import create_engine
 from ..interpreter import Interpreter, ProgramInput
 from .latency_model import OpcodeLatencyModel
 
@@ -99,12 +100,18 @@ class OpcodeProfiler:
     """Measures per-opcode interpreter cost (the paper's §3.2 methodology)."""
 
     def __init__(self, copies: int = 64, repeats: int = 20,
-                 interpreter: Optional[Interpreter] = None):
+                 interpreter: Optional[Interpreter] = None,
+                 engine=None):
         if copies <= 0 or repeats <= 0:
             raise ValueError("copies and repeats must be positive")
         self.copies = copies
         self.repeats = repeats
-        self.interpreter = interpreter or Interpreter(step_limit=1_000_000)
+        # One long-lived engine for the whole profile run: each category's
+        # program is decoded once and timed many times, so the numbers
+        # reflect steady-state execution, not decode overhead.
+        self.engine = engine if engine is not None \
+            else (interpreter or create_engine(step_limit=1_000_000))
+        self.interpreter = self.engine
 
     # ------------------------------------------------------------------ #
     def run(self, categories: Optional[Sequence[str]] = None) -> ProfileReport:
@@ -186,7 +193,7 @@ class OpcodeProfiler:
         timings = []
         for _ in range(self.repeats):
             started = time.perf_counter()
-            self.interpreter.run(program, test)
+            self.engine.run(program, test)
             timings.append(time.perf_counter() - started)
         timings.sort()
         return timings[len(timings) // 2]

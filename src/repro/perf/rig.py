@@ -27,7 +27,8 @@ import dataclasses
 from typing import Dict, List, Optional, Sequence
 
 from ..bpf.program import BpfProgram
-from ..interpreter import Interpreter, ProgramInput
+from ..engine import create_engine
+from ..interpreter import ProgramInput
 from ..synthesis.testcases import TestCaseGenerator
 from .latency_model import DEFAULT_LATENCY_MODEL, OpcodeLatencyModel
 
@@ -70,20 +71,22 @@ class DeviceUnderTest:
 
     def __init__(self, program: BpfProgram,
                  latency_model: OpcodeLatencyModel = DEFAULT_LATENCY_MODEL,
-                 per_packet_overhead_ns: float = _PER_PACKET_OVERHEAD_NS):
+                 per_packet_overhead_ns: float = _PER_PACKET_OVERHEAD_NS,
+                 engine: str = "decoded"):
         self.program = program
         self.latency_model = latency_model
         self.per_packet_overhead_ns = per_packet_overhead_ns
-        self._interpreter = Interpreter(
-            opcode_cost_fn=latency_model.instruction_cost)
+        # One long-lived engine per DUT: the program is decoded once and the
+        # per-opcode cost table folded into the decoded form, then reused
+        # for every packet of every load sweep.
+        self._engine = create_engine(
+            engine, opcode_cost_fn=latency_model.instruction_cost)
 
     def service_times_ns(self, traffic: Sequence[ProgramInput]) -> List[float]:
         """Per-packet service times (program execution + fixed overhead)."""
-        times = []
-        for test in traffic:
-            output = self._interpreter.run(self.program, test)
-            times.append(output.estimated_ns + self.per_packet_overhead_ns)
-        return times
+        outputs = self._engine.run_batch(self.program, list(traffic))
+        return [output.estimated_ns + self.per_packet_overhead_ns
+                for output in outputs]
 
     def mean_service_time_ns(self, traffic: Sequence[ProgramInput]) -> float:
         times = self.service_times_ns(traffic)
@@ -107,11 +110,12 @@ class BenchmarkRig:
                  latency_model: OpcodeLatencyModel = DEFAULT_LATENCY_MODEL,
                  packet_size: int = 64, pool_size: int = 96,
                  packets_per_trial: int = 20_000, seed: int = 7,
-                 rx_ring_size: int = _RX_RING_SIZE):
+                 rx_ring_size: int = _RX_RING_SIZE,
+                 engine: str = "decoded"):
         self.program = program
         self.traffic = TrafficGenerator(program, packet_size=packet_size,
                                         pool_size=pool_size, seed=seed)
-        self.dut = DeviceUnderTest(program, latency_model)
+        self.dut = DeviceUnderTest(program, latency_model, engine=engine)
         self.packets_per_trial = packets_per_trial
         self.rx_ring_size = rx_ring_size
         self._service_pool = self.dut.service_times_ns(self.traffic.pool)

@@ -14,7 +14,8 @@ from __future__ import annotations
 
 from .bpf.opcodes import AluOp, JmpOp
 
-__all__ = ["alu_op_concrete", "jump_taken_concrete", "to_signed", "to_unsigned"]
+__all__ = ["alu_op_concrete", "jump_taken_concrete", "byteswap", "to_signed",
+           "to_unsigned"]
 
 _U64 = (1 << 64) - 1
 _U32 = (1 << 32) - 1
@@ -31,6 +32,13 @@ def to_signed(value: int, bits: int = 64) -> int:
 def to_unsigned(value: int, bits: int = 64) -> int:
     """Reinterpret a signed value as unsigned ``bits``-wide."""
     return value & ((1 << bits) - 1)
+
+
+def byteswap(value: int, width_bits: int) -> int:
+    """The ``END`` (endianness conversion) primitive shared by both engines."""
+    width_bytes = width_bits // 8
+    data = (value & ((1 << width_bits) - 1)).to_bytes(width_bytes, "little")
+    return int.from_bytes(data, "big")
 
 
 def alu_op_concrete(op: AluOp, dst: int, src: int, is64: bool) -> int:

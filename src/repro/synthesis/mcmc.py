@@ -18,6 +18,7 @@ import time
 from typing import Dict, List, Optional
 
 from ..bpf.program import BpfProgram
+from ..engine import create_engine
 from ..equivalence import EquivalenceCache, EquivalenceOptions, EquivalenceResult
 from ..perf.latency_model import DEFAULT_LATENCY_MODEL, OpcodeLatencyModel
 from ..safety import SafetyChecker
@@ -97,13 +98,22 @@ class MarkovChain:
                  latency_model: OpcodeLatencyModel = DEFAULT_LATENCY_MODEL,
                  cache: Optional[EquivalenceCache] = None,
                  lazy_safety: bool = True,
-                 pipeline: Optional[VerificationPipeline] = None):
+                 pipeline: Optional[VerificationPipeline] = None,
+                 engine=None):
         source.validate()
         self.source = source
         self.settings = cost_settings or CostSettings()
         self.rng = random.Random(seed)
         self.proposer = ProposalGenerator(source, self.rng, probabilities)
-        self.tests = test_suite or TestSuite(source, seed=seed)
+        # One long-lived execution engine per chain, shared by the test
+        # suite and the verification pipeline's replay stage so the current
+        # program and its proposals are decoded once for both.  ``engine``
+        # accepts an engine kind string (``legacy``/``decoded``) or a ready
+        # engine instance.
+        if engine is None or isinstance(engine, str):
+            engine = create_engine(engine)
+        self.engine = engine
+        self.tests = test_suite or TestSuite(source, seed=seed, engine=engine)
         self.safety = SafetyChecker()
         # The verification pipeline owns the equivalence options and the
         # cache; the ``equivalence_options``/``cache`` kwargs are kept for
@@ -111,7 +121,7 @@ class MarkovChain:
         if pipeline is None:
             pipeline = VerificationPipeline(
                 options=equivalence_options or EquivalenceOptions(),
-                cache=cache)
+                cache=cache, engine=engine)
         elif equivalence_options is not None or cache is not None:
             raise ValueError("pass either a pipeline or the deprecated "
                              "equivalence_options/cache kwargs, not both")

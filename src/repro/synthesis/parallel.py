@@ -40,6 +40,7 @@ import dataclasses
 from typing import Dict, List, Optional, Tuple
 
 from ..bpf.program import BpfProgram
+from ..engine import create_engine
 from ..equivalence import EquivalenceCache
 from ..equivalence.checker import EquivalenceResult
 from ..interpreter import ProgramInput
@@ -171,15 +172,20 @@ class ChainController:
     # ------------------------------------------------------------------ #
     def _build_chain(self, index: int, setting: ParameterSetting) -> MarkovChain:
         options = self.options
+        # One engine per chain, shared between its test suite and its
+        # verification pipeline (chains must not share engines: each is
+        # shipped whole to a worker).
+        engine = create_engine(getattr(options, "engine", None))
         suite = TestSuite(self.source, num_initial=options.num_initial_tests,
-                          seed=options.seed + index)
+                          seed=options.seed + index, engine=engine)
         return MarkovChain(
             self.source,
             cost_settings=setting.cost,
             probabilities=setting.probabilities,
             seed=options.seed * 1009 + index,
             test_suite=suite,
-            equivalence_options=options.equivalence)
+            equivalence_options=options.equivalence,
+            engine=engine)
 
     def _generation_schedule(self, iterations: int) -> List[int]:
         interval = self.options.sync_interval

@@ -60,6 +60,11 @@ class SearchOptions:
     share_cache: bool = True
     #: Share discovered counterexamples across chains at generation boundaries.
     share_counterexamples: bool = True
+    #: Execution engine for candidate evaluation: ``decoded`` (decode-once
+    #: micro-op engine) or ``legacy`` (the reference interpreter) — the
+    #: ablation knob behind the CLI's ``--engine``.  Both produce
+    #: bit-identical search results; only throughput differs.
+    engine: str = "decoded"
 
 
 @dataclasses.dataclass

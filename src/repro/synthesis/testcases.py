@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..bpf.hooks import CtxFieldKind, HookType
 from ..bpf.program import BpfProgram
+from ..engine import create_engine
 from ..interpreter import Interpreter, ProgramInput, ProgramOutput
 
 __all__ = ["TestCaseGenerator", "TestSuite"]
@@ -95,9 +96,15 @@ class TestSuite:
     """The growing set of tests shared by one synthesis run (Fig. 1)."""
 
     def __init__(self, source: BpfProgram, num_initial: int = 24, seed: int = 0,
-                 interpreter: Optional[Interpreter] = None):
+                 interpreter: Optional[Interpreter] = None,
+                 engine=None):
         self.source = source
-        self.interpreter = interpreter or Interpreter()
+        # One long-lived engine per suite: its decode cache persists across
+        # every candidate evaluation of the owning chain.  ``interpreter`` is
+        # the pre-engine name for the same slot, kept for compatibility.
+        self.engine = engine if engine is not None \
+            else (interpreter or create_engine())
+        self.interpreter = self.engine
         self.generator = TestCaseGenerator(source, seed=seed)
         self.tests: List[ProgramInput] = self.generator.generate(num_initial)
         self._seen = {test.freeze_key() for test in self.tests}
@@ -108,12 +115,12 @@ class TestSuite:
     def source_outputs(self) -> List[ProgramOutput]:
         if self._source_outputs is None or \
                 len(self._source_outputs) != len(self.tests):
-            self._source_outputs = [self.interpreter.run(self.source, test)
-                                    for test in self.tests]
+            self._source_outputs = self.engine.run_batch(self.source,
+                                                         self.tests)
         return self._source_outputs
 
     def run_candidate(self, candidate: BpfProgram) -> List[ProgramOutput]:
-        return [self.interpreter.run(candidate, test) for test in self.tests]
+        return self.engine.run_batch(candidate, self.tests)
 
     def add_counterexample(self, test: ProgramInput) -> bool:
         """Add a counterexample returned by a checker; dedup by content."""

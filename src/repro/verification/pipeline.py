@@ -33,6 +33,7 @@ import time
 from typing import Dict, List, Optional, Tuple
 
 from ..bpf.program import BpfProgram
+from ..engine import create_engine
 from ..equivalence import (
     EquivalenceCache, EquivalenceChecker, EquivalenceOptions,
     EquivalenceResult, Window, WindowEquivalenceChecker,
@@ -143,10 +144,17 @@ class VerificationPipeline:
                  cache: Optional[EquivalenceCache] = None,
                  stages: Optional[List[VerificationStage]] = None,
                  interpreter: Optional[Interpreter] = None,
-                 max_pool_size: int = 64):
+                 max_pool_size: int = 64,
+                 engine=None):
         self.options = options or EquivalenceOptions()
         self.cache = cache if cache is not None else EquivalenceCache()
-        self.interpreter = interpreter or Interpreter()
+        # One long-lived execution engine feeds the replay stage (and is
+        # shared with the owning chain's test suite when the caller passes
+        # the same instance); ``interpreter`` is the pre-engine name for the
+        # same slot, kept for compatibility.
+        self.engine = engine if engine is not None \
+            else (interpreter or create_engine())
+        self.interpreter = self.engine
         self.checker = EquivalenceChecker(self.options)
         self.window_checker = WindowEquivalenceChecker(self.options)
         self.stages: List[VerificationStage] = stages if stages is not None \
@@ -187,9 +195,9 @@ class VerificationPipeline:
         if self._pool_source_key != key:
             self._pool_outputs = []
             self._pool_source_key = key
-        while len(self._pool_outputs) < len(self._pool):
-            test = self._pool[len(self._pool_outputs)]
-            self._pool_outputs.append(self.interpreter.run(source, test))
+        missing = self._pool[len(self._pool_outputs):]
+        if missing:
+            self._pool_outputs.extend(self.engine.run_batch(source, missing))
         return list(zip(self._pool, self._pool_outputs))
 
     # ------------------------------------------------------------------ #

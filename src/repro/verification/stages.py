@@ -127,7 +127,7 @@ class InterpreterReplayStage(VerificationStage):
                                 detail="empty counterexample pool")
         for test, expected in pool:
             try:
-                got = pipeline.interpreter.run(candidate, test)
+                got = pipeline.engine.run(candidate, test)
             except Exception as exc:  # broken candidate: let the solver tiers
                 return StageVerdict(self.name, StageOutcome.ESCALATE,
                                     detail=f"replay failed: {exc}")
