@@ -1,0 +1,184 @@
+"""Tristate numbers ("tnums"): the kernel verifier's known-bits domain.
+
+The Linux verifier tracks, for every scalar register, which *bits* are
+definitely 0, definitely 1 or unknown (``kernel/bpf/tnum.c``).  K2's safety
+story (paper §6) models the same checks the kernel performs, so the fused
+abstract interpreter in :mod:`repro.analysis` carries a tnum next to the
+:class:`~repro.bpf.valrange.ValueInterval` for every scalar — the two
+abstractions are incomparable (a tnum proves ``x & 3 == 0`` where an
+interval cannot; an interval proves ``x < 14`` where a tnum cannot) and the
+product of both is what the kernel itself uses.
+
+Representation (identical to the kernel's)::
+
+    Tnum(value, mask):  gamma(t) = { x | x & ~mask == value }
+
+``mask`` has a 1 for every unknown bit; ``value`` carries the known bits and
+is always 0 on unknown positions (``value & mask == 0``).
+
+Every transfer function below over-approximates the concrete 64-bit
+operation: if ``x in a`` and ``y in b`` then ``concrete_op(x, y) in
+op(a, b)``.  The property-based suite in ``tests/test_analysis_domains.py``
+checks exactly that statement against :func:`repro.semantics.alu_op_concrete`
+on sampled operands.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["Tnum"]
+
+_U64 = (1 << 64) - 1
+_U32 = (1 << 32) - 1
+
+
+@dataclasses.dataclass(frozen=True)
+class Tnum:
+    """A tristate number over unsigned 64-bit values."""
+
+    value: int = 0
+    mask: int = _U64
+
+    def __post_init__(self) -> None:
+        if self.value & self.mask:
+            raise ValueError("tnum invariant violated: value & mask != 0")
+        if not 0 <= self.value <= _U64 or not 0 <= self.mask <= _U64:
+            raise ValueError("tnum fields must be unsigned 64-bit values")
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def unknown() -> "Tnum":
+        return Tnum(0, _U64)
+
+    @staticmethod
+    def const(value: int) -> "Tnum":
+        return Tnum(value & _U64, 0)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def is_const(self) -> bool:
+        return self.mask == 0
+
+    @property
+    def const_value(self):
+        return self.value if self.mask == 0 else None
+
+    @property
+    def is_unknown(self) -> bool:
+        return self.mask == _U64 and self.value == 0
+
+    def contains(self, x: int) -> bool:
+        """True if the concrete value ``x`` is in this tnum's set."""
+        return (x & _U64) & ~self.mask == self.value
+
+    @property
+    def min_value(self) -> int:
+        """Smallest concrete value in the set (unknown bits cleared)."""
+        return self.value
+
+    @property
+    def max_value(self) -> int:
+        """Largest concrete value in the set (unknown bits set)."""
+        return self.value | self.mask
+
+    def __str__(self) -> str:  # pragma: no cover - debugging convenience
+        if self.is_const:
+            return f"{{{self.value:#x}}}"
+        if self.is_unknown:
+            return "⊤"
+        return f"(v={self.value:#x}, m={self.mask:#x})"
+
+    # ------------------------------------------------------------------ #
+    # Lattice operations
+    # ------------------------------------------------------------------ #
+    def union(self, other: "Tnum") -> "Tnum":
+        """Join: the smallest tnum containing both sets (kernel tnum_union)."""
+        mu = self.mask | other.mask | (self.value ^ other.value)
+        return Tnum(self.value & other.value & ~mu & _U64, mu & _U64)
+
+    join = union
+
+    def intersect(self, other: "Tnum"):
+        """Meet; returns None when the two sets are provably disjoint."""
+        if (self.value ^ other.value) & ~self.mask & ~other.mask:
+            return None
+        mu = self.mask & other.mask
+        value = (self.value | other.value) & ~mu
+        return Tnum(value & _U64, mu & _U64)
+
+    # ------------------------------------------------------------------ #
+    # Transfer functions (kernel tnum.c algorithms)
+    # ------------------------------------------------------------------ #
+    def add(self, other: "Tnum") -> "Tnum":
+        sm = self.mask + other.mask
+        sv = self.value + other.value
+        sigma = sm + sv
+        chi = sigma ^ sv
+        mu = (chi | self.mask | other.mask) & _U64
+        return Tnum(sv & ~mu & _U64, mu)
+
+    def sub(self, other: "Tnum") -> "Tnum":
+        dv = (self.value - other.value) & _U64
+        alpha = dv + self.mask
+        beta = dv - other.mask
+        chi = alpha ^ beta
+        mu = (chi | self.mask | other.mask) & _U64
+        return Tnum(dv & ~mu & _U64, mu)
+
+    def bitwise_and(self, other: "Tnum") -> "Tnum":
+        alpha = self.value | self.mask
+        beta = other.value | other.mask
+        value = self.value & other.value
+        return Tnum(value, alpha & beta & ~value & _U64)
+
+    def bitwise_or(self, other: "Tnum") -> "Tnum":
+        value = self.value | other.value
+        mu = self.mask | other.mask
+        return Tnum(value, mu & ~value & _U64)
+
+    def bitwise_xor(self, other: "Tnum") -> "Tnum":
+        value = self.value ^ other.value
+        mu = self.mask | other.mask
+        return Tnum(value & ~mu & _U64, mu)
+
+    def lshift(self, shift: int) -> "Tnum":
+        shift &= 63
+        return Tnum((self.value << shift) & _U64, (self.mask << shift) & _U64)
+
+    def rshift(self, shift: int) -> "Tnum":
+        shift &= 63
+        return Tnum(self.value >> shift, self.mask >> shift)
+
+    def arshift(self, shift: int, width: int = 64) -> "Tnum":
+        """Arithmetic shift right; the sign bit replicates per-component.
+
+        A set (unknown) sign bit in ``mask`` fills the vacated positions with
+        unknown bits; a known sign bit fills them with its known value —
+        exactly the kernel's cast-to-signed implementation.
+        """
+        shift &= width - 1
+        wmask = (1 << width) - 1
+
+        def _sar(x: int) -> int:
+            x &= wmask
+            if x >= 1 << (width - 1):
+                x -= 1 << width
+            return (x >> shift) & wmask
+
+        value, mask = _sar(self.value), _sar(self.mask)
+        # Positions that became "known 1" in the mask are unknown bits: clear
+        # them from value to restore the invariant.
+        return Tnum(value & ~mask & wmask, mask)
+
+    def truncate32(self) -> "Tnum":
+        """The tnum of the value's low 32 bits (zero-extended)."""
+        return Tnum(self.value & _U32, self.mask & _U32)
+
+    def truncate(self, width_bits: int) -> "Tnum":
+        wmask = (1 << width_bits) - 1
+        return Tnum(self.value & wmask, self.mask & wmask)

@@ -1,0 +1,77 @@
+"""Safety verdict types shared by every static checker in the system.
+
+These types were born in :mod:`repro.safety.safety_checker` and are
+re-exported from there unchanged; they live here so that the fused abstract
+interpreter (:mod:`repro.analysis`), the search-loop safety checker
+(:mod:`repro.safety`) and the kernel-checker model (:mod:`repro.verifier`)
+can all speak the same verdict language without import cycles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import List, Optional
+
+from ..interpreter import ProgramInput
+
+__all__ = ["SafetyViolationKind", "SafetyViolation", "SafetyResult"]
+
+
+class SafetyViolationKind(enum.Enum):
+    """Categories of safety violations, matching the paper's §6 checklist."""
+
+    MALFORMED = "malformed"
+    UNREACHABLE_CODE = "unreachable_code"
+    LOOP = "loop"
+    BAD_JUMP = "bad_jump"
+    OUT_OF_BOUNDS = "out_of_bounds"
+    UNKNOWN_POINTER = "unknown_pointer"
+    NULL_DEREFERENCE = "null_dereference"
+    UNINITIALIZED_READ = "uninitialized_read"
+    MISALIGNED_ACCESS = "misaligned_access"
+    READ_ONLY_REGISTER = "read_only_register"
+    POINTER_ARITHMETIC = "pointer_arithmetic"
+    CTX_STORE = "ctx_store"
+    POINTER_LEAK = "pointer_leak"
+    HELPER_MISUSE = "helper_misuse"
+    BAD_RETURN_VALUE = "bad_return_value"
+
+
+@dataclasses.dataclass(frozen=True)
+class SafetyViolation:
+    """One violation found in a candidate program."""
+
+    kind: SafetyViolationKind
+    insn_index: Optional[int]
+    message: str
+
+    def __str__(self) -> str:
+        location = f"insn {self.insn_index}" if self.insn_index is not None else "program"
+        return f"[{self.kind.value}] {location}: {self.message}"
+
+    def rebased(self, delta: int) -> "SafetyViolation":
+        """The same violation with its instruction index shifted by ``delta``.
+
+        Used by the incremental analyzer, which memoizes per-basic-block
+        summaries with block-relative indices and rebases them to absolute
+        positions when a block is reused.
+        """
+        if self.insn_index is None or delta == 0:
+            return self
+        return SafetyViolation(self.kind, self.insn_index + delta, self.message)
+
+
+@dataclasses.dataclass
+class SafetyResult:
+    """Outcome of checking one candidate."""
+
+    violations: List[SafetyViolation]
+    counterexamples: List[ProgramInput] = dataclasses.field(default_factory=list)
+
+    @property
+    def safe(self) -> bool:
+        return not self.violations
+
+    def __bool__(self) -> bool:
+        return self.safe

@@ -57,6 +57,16 @@ class Instruction:
     imm: int = 0
     imm64: Optional[int] = None
 
+    def __hash__(self) -> int:
+        # Instructions key several hot caches (decode memos, the analyzer's
+        # per-insn structure memo); cache the hash of the immutable fields.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.opcode, self.dst, self.src, self.off,
+                           self.imm, self.imm64))
+            self.__dict__["_hash"] = cached
+        return cached
+
     # ------------------------------------------------------------------ #
     # Field decoding helpers
     # ------------------------------------------------------------------ #
@@ -193,7 +203,14 @@ class Instruction:
     # Register def/use sets (used by liveness, SSA, and proposal rules)
     # ------------------------------------------------------------------ #
     def regs_read(self) -> frozenset[int]:
-        """Registers whose value this instruction reads."""
+        """Registers whose value this instruction reads (cached)."""
+        cached = self.__dict__.get("_regs_read")
+        if cached is None:
+            cached = self._regs_read_uncached()
+            self.__dict__["_regs_read"] = cached
+        return cached
+
+    def _regs_read_uncached(self) -> frozenset[int]:
         if self.is_nop:
             return frozenset()
         if self.is_lddw:

@@ -33,7 +33,8 @@ from .hooks import Hook
 from .instruction import Instruction
 from .opcodes import AluOp, InsnClass, JmpOp, NUM_REGISTERS
 
-__all__ = ["ValueInterval", "RangeAnalysis", "analyze_ranges"]
+__all__ = ["ValueInterval", "RangeAnalysis", "analyze_ranges", "apply_alu",
+           "refine_interval_for_branch"]
 
 _U64 = (1 << 64) - 1
 _U32 = (1 << 32) - 1
@@ -162,9 +163,15 @@ class ValueInterval:
         return ValueInterval(0, _U32)
 
 
-def _apply_alu(op: AluOp, dst: ValueInterval, src: ValueInterval,
-               is64: bool) -> ValueInterval:
-    """Transfer function for one ALU operation."""
+def apply_alu(op: AluOp, dst: ValueInterval, src: ValueInterval,
+              is64: bool) -> ValueInterval:
+    """Transfer function for one ALU operation.
+
+    Sound against :func:`repro.semantics.alu_op_concrete` — the property
+    suite in ``tests/test_analysis_domains.py`` checks containment on
+    sampled operands for both widths.
+    """
+    width = 64 if is64 else 32
     if not is64:
         dst, src = dst.truncate32(), src.truncate32()
     if op == AluOp.MOV:
@@ -182,23 +189,41 @@ def _apply_alu(op: AluOp, dst: ValueInterval, src: ValueInterval,
     elif op == AluOp.XOR:
         result = dst.bitwise_xor(src)
     elif op == AluOp.LSH:
-        result = dst.lshift(src)
-    elif op in (AluOp.RSH, AluOp.ARSH):
-        # ARSH on a value with the top bit possibly set is imprecise; only
-        # keep the logical-shift bound when the sign bit is provably clear.
-        if op == AluOp.ARSH and dst.hi >= (1 << 63):
+        # Runtime shift counts are masked to the operand width, so a 32-bit
+        # shift by 33 really shifts by 1 — mask before shifting.
+        if not src.is_constant:
             result = ValueInterval.top()
         else:
-            result = dst.rshift(src)
+            result = dst.lshift(ValueInterval.constant(src.lo & (width - 1)))
+    elif op in (AluOp.RSH, AluOp.ARSH):
+        # ARSH on a value whose sign bit (of the operating width) may be set
+        # replicates ones at the top; no useful unsigned bound remains.
+        if op == AluOp.ARSH and dst.hi >= (1 << (width - 1)):
+            result = ValueInterval.top()
+        elif not src.is_constant:
+            result = ValueInterval(0, dst.hi)
+        else:
+            result = dst.rshift(ValueInterval.constant(src.lo & (width - 1)))
     elif op == AluOp.DIV:
+        # x / 0 == 0 in the BPF runtime; otherwise the quotient never
+        # exceeds the dividend.
         result = ValueInterval(0, dst.hi)
     elif op == AluOp.MOD:
-        result = ValueInterval(0, src.hi) if src.hi else ValueInterval(0, dst.hi)
+        # x % 0 == x in the BPF runtime, so a divisor interval containing 0
+        # cannot bound the result below the dividend.
+        if src.lo == 0:
+            result = ValueInterval(0, dst.hi)
+        else:
+            result = ValueInterval(0, min(dst.hi, src.hi - 1))
     else:  # NEG, END and anything else: no useful bound
         result = ValueInterval.top()
     if not is64:
         result = result.truncate32()
     return result
+
+
+#: Backwards-compatible alias (the function predates the public name).
+_apply_alu = apply_alu
 
 
 def _refine_for_branch(interval: ValueInterval, op: JmpOp, imm: int,
@@ -238,6 +263,11 @@ def _refine_for_branch(interval: ValueInterval, op: JmpOp, imm: int,
             return None
         return interval.meet(bound)
     return interval
+
+
+#: Public name used by the fused analyzer (:mod:`repro.analysis`); the
+#: branch-refinement rules are shared between both interval consumers.
+refine_interval_for_branch = _refine_for_branch
 
 
 class RangeAnalysis:

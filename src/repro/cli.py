@@ -44,7 +44,7 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
                           num_workers=args.num_workers, executor=args.executor,
                           sync_interval=args.sync_interval,
                           verify_stages=args.verify_pipeline,
-                          engine=args.engine)
+                          engine=args.engine, analysis=args.analysis)
     result = compiler.optimize(program)
     print(result.summary())
     print()
@@ -57,8 +57,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
         program = get_benchmark(args.benchmark).program()
     else:
         program = _load_program(args.program, args.hook)
-    safety = SafetyChecker().check(program)
-    verdict = KernelChecker().load(program)
+    safety = SafetyChecker(mode=args.analysis).check(program)
+    verdict = KernelChecker(mode=args.analysis).load(program)
     print(f"safety checker : {'safe' if safety.safe else 'UNSAFE'}")
     for violation in safety.violations:
         print(f"  - {violation}")
@@ -126,6 +126,15 @@ def main(argv=None) -> int:
                                "is the reference per-step interpreter kept "
                                "for ablation; both produce bit-identical "
                                "results (default: %(default)s)")
+    optimize.add_argument("--analysis", default="fused",
+                          choices=["fused", "legacy"],
+                          help="static safety analysis: 'fused' runs the "
+                               "unified incremental abstract interpreter "
+                               "(provenance x known-bits x intervals, "
+                               "per-block memoization across proposals, "
+                               "static-safety pipeline pre-stage), 'legacy' "
+                               "is the original two-pass analysis kept for "
+                               "ablation (default: %(default)s)")
     optimize.add_argument("--verify-pipeline", default=None, metavar="STAGES",
                           help="comma-separated verification stages to enable, "
                                "in escalation order, from: replay, cache, "
@@ -143,6 +152,10 @@ def main(argv=None) -> int:
                        choices=[h.value for h in HookType],
                        help="BPF hook the program attaches to "
                             "(default: %(default)s)")
+    check.add_argument("--analysis", default="fused",
+                       choices=["fused", "legacy"],
+                       help="static analysis implementation for both "
+                            "checkers (default: %(default)s)")
     check.set_defaults(func=_cmd_check)
 
     corpus = sub.add_parser("corpus", help="list the benchmark corpus")

@@ -125,6 +125,7 @@ class K2Compiler:
                  verify_stages: Optional[str] = None,
                  equivalence: Optional[EquivalenceOptions] = None,
                  engine: str = "decoded",
+                 analysis: str = "fused",
                  options: Optional[SearchOptions] = None):
         if options is not None and (verify_stages is not None
                                     or equivalence is not None):
@@ -150,9 +151,10 @@ class K2Compiler:
                 executor=executor,
                 sync_interval=sync_interval,
                 equivalence=equivalence,
-                engine=engine)
+                engine=engine,
+                analysis=analysis)
         self.options = options
-        self.kernel_checker = KernelChecker()
+        self.kernel_checker = KernelChecker(mode=self.options.analysis)
 
     # ------------------------------------------------------------------ #
     def optimize(self, program: BpfProgram,

@@ -35,10 +35,12 @@ synthesizer adds to its test suite exactly as in Fig. 1 of the paper.
 
 from __future__ import annotations
 
-import dataclasses
-import enum
 from typing import List, Optional
 
+from ..analysis import AbstractAnalyzer, resolve_analysis_kind
+from ..analysis.verdicts import (
+    SafetyResult, SafetyViolation, SafetyViolationKind,
+)
 from ..bpf.cfg import CfgError, build_cfg
 from ..bpf.helpers import HELPERS
 from ..bpf.hooks import HookType
@@ -53,65 +55,51 @@ __all__ = ["SafetyViolationKind", "SafetyViolation", "SafetyResult",
            "SafetyChecker"]
 
 
-class SafetyViolationKind(enum.Enum):
-    """Categories of safety violations, matching the paper's §6 checklist."""
-
-    MALFORMED = "malformed"
-    UNREACHABLE_CODE = "unreachable_code"
-    LOOP = "loop"
-    BAD_JUMP = "bad_jump"
-    OUT_OF_BOUNDS = "out_of_bounds"
-    UNKNOWN_POINTER = "unknown_pointer"
-    NULL_DEREFERENCE = "null_dereference"
-    UNINITIALIZED_READ = "uninitialized_read"
-    MISALIGNED_ACCESS = "misaligned_access"
-    READ_ONLY_REGISTER = "read_only_register"
-    POINTER_ARITHMETIC = "pointer_arithmetic"
-    CTX_STORE = "ctx_store"
-    POINTER_LEAK = "pointer_leak"
-    HELPER_MISUSE = "helper_misuse"
-    BAD_RETURN_VALUE = "bad_return_value"
-
-
-@dataclasses.dataclass(frozen=True)
-class SafetyViolation:
-    """One violation found in a candidate program."""
-
-    kind: SafetyViolationKind
-    insn_index: Optional[int]
-    message: str
-
-    def __str__(self) -> str:
-        location = f"insn {self.insn_index}" if self.insn_index is not None else "program"
-        return f"[{self.kind.value}] {location}: {self.message}"
-
-
-@dataclasses.dataclass
-class SafetyResult:
-    """Outcome of checking one candidate."""
-
-    violations: List[SafetyViolation]
-    counterexamples: List[ProgramInput] = dataclasses.field(default_factory=list)
-
-    @property
-    def safe(self) -> bool:
-        return not self.violations
-
-    def __bool__(self) -> bool:
-        return self.safe
-
-
 class SafetyChecker:
-    """Static safety analysis of BPF programs, as used inside the search loop."""
+    """Static safety analysis of BPF programs, as used inside the search loop.
 
-    def __init__(self, strict_alignment: bool = True):
+    Two interchangeable implementations sit behind this API (the
+    ``--analysis`` ablation):
+
+    * ``fused`` (default) — the unified incremental abstract interpreter
+      (:class:`repro.analysis.AbstractAnalyzer`): one product domain
+      (provenance × tnum × interval), per-basic-block memoization across
+      the proposals of a synthesis run, plus checks for the interpreter
+      faults the legacy pass missed (helper arguments, atomic adds through
+      ctx, stale packet pointers after ``bpf_xdp_adjust_*``).
+    * ``legacy`` — the original two-pass analysis over
+      :mod:`repro.bpf.memtypes`, kept as the ablation baseline.
+
+    Pass a shared ``analyzer`` to let several consumers (the search loop's
+    checker and the verification pipeline's pre-stage) hit one memo.
+    """
+
+    def __init__(self, strict_alignment: bool = True,
+                 mode: Optional[str] = None,
+                 analyzer: Optional[AbstractAnalyzer] = None):
         self.strict_alignment = strict_alignment
+        self.mode = resolve_analysis_kind(mode)
+        if analyzer is not None:
+            self.analyzer = analyzer
+        elif self.mode == "fused":
+            self.analyzer = AbstractAnalyzer(strict_alignment=strict_alignment)
+        else:
+            self.analyzer = None
         self.num_checks = 0
 
     # ------------------------------------------------------------------ #
     def check(self, program: BpfProgram) -> SafetyResult:
         """Check every §6 property; returns all violations found."""
         self.num_checks += 1
+        if self.mode == "fused":
+            outcome = self.analyzer.analyze(program)
+            return SafetyResult(list(outcome.violations),
+                                self._counterexamples(program)
+                                if outcome.violations else [])
+        return self._check_legacy(program)
+
+    # ------------------------------------------------------------------ #
+    def _check_legacy(self, program: BpfProgram) -> SafetyResult:
         violations: List[SafetyViolation] = []
 
         structural = self._check_structure(program)

@@ -17,6 +17,7 @@ import random
 import time
 from typing import Dict, List, Optional
 
+from ..analysis import AbstractAnalyzer, resolve_analysis_kind
 from ..bpf.program import BpfProgram
 from ..engine import create_engine
 from ..equivalence import EquivalenceCache, EquivalenceOptions, EquivalenceResult
@@ -99,7 +100,8 @@ class MarkovChain:
                  cache: Optional[EquivalenceCache] = None,
                  lazy_safety: bool = True,
                  pipeline: Optional[VerificationPipeline] = None,
-                 engine=None):
+                 engine=None,
+                 analysis: Optional[str] = None):
         source.validate()
         self.source = source
         self.settings = cost_settings or CostSettings()
@@ -114,14 +116,21 @@ class MarkovChain:
             engine = create_engine(engine)
         self.engine = engine
         self.tests = test_suite or TestSuite(source, seed=seed, engine=engine)
-        self.safety = SafetyChecker()
+        # One fused abstract analyzer per chain, shared by the safety
+        # checker and the pipeline's static-safety pre-stage so both hit
+        # one per-block/program memo (the static-analysis analogue of the
+        # shared decode cache above).  ``--analysis legacy`` selects the
+        # original two-pass implementation and drops the pre-stage.
+        self.analysis = resolve_analysis_kind(analysis)
+        analyzer = AbstractAnalyzer() if self.analysis == "fused" else None
+        self.safety = SafetyChecker(mode=self.analysis, analyzer=analyzer)
         # The verification pipeline owns the equivalence options and the
         # cache; the ``equivalence_options``/``cache`` kwargs are kept for
         # backwards compatibility and feed the pipeline it builds.
         if pipeline is None:
             pipeline = VerificationPipeline(
                 options=equivalence_options or EquivalenceOptions(),
-                cache=cache, engine=engine)
+                cache=cache, engine=engine, analyzer=analyzer)
         elif equivalence_options is not None or cache is not None:
             raise ValueError("pass either a pipeline or the deprecated "
                              "equivalence_options/cache kwargs, not both")
@@ -245,7 +254,11 @@ class MarkovChain:
             safe_cost = 0.0 if safety_result.safe else ERR_MAX
             if not safety_result.safe:
                 self.stats.proposals_unsafe += 1
-                for counterexample in safety_result.counterexamples[:1]:
+                # Feed back *every* safety counterexample (an earlier version
+                # sliced to the first one): the suite deduplicates, and every
+                # genuinely new input also enters the cross-chain shared pool
+                # via discovered_counterexamples.
+                for counterexample in safety_result.counterexamples:
                     if self.tests.add_counterexample(counterexample):
                         self.stats.counterexamples_added += 1
                         self.discovered_counterexamples.append(counterexample)

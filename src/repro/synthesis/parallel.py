@@ -185,7 +185,8 @@ class ChainController:
             seed=options.seed * 1009 + index,
             test_suite=suite,
             equivalence_options=options.equivalence,
-            engine=engine)
+            engine=engine,
+            analysis=getattr(options, "analysis", None))
 
     def _generation_schedule(self, iterations: int) -> List[int]:
         interval = self.options.sync_interval

@@ -65,6 +65,12 @@ class SearchOptions:
     #: ablation knob behind the CLI's ``--engine``.  Both produce
     #: bit-identical search results; only throughput differs.
     engine: str = "decoded"
+    #: Static safety analysis implementation: ``fused`` (the unified
+    #: incremental abstract interpreter of :mod:`repro.analysis`, shared by
+    #: the safety checker, the pipeline pre-stage and the kernel-checker
+    #: filter) or ``legacy`` (the original two-pass analysis) — the
+    #: ablation knob behind the CLI's ``--analysis``.
+    analysis: str = "fused"
 
 
 @dataclasses.dataclass
@@ -120,7 +126,7 @@ class Synthesizer:
 
     def __init__(self, options: Optional[SearchOptions] = None):
         self.options = options or SearchOptions()
-        self.kernel_checker = KernelChecker()
+        self.kernel_checker = KernelChecker(mode=self.options.analysis)
 
     # ------------------------------------------------------------------ #
     def optimize(self, source: BpfProgram,

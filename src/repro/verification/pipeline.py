@@ -41,7 +41,7 @@ from ..equivalence import (
 from ..interpreter import Interpreter, ProgramInput, ProgramOutput
 from .stages import (
     CacheLookupStage, FullSymbolicStage, InterpreterReplayStage, StageOutcome,
-    StageVerdict, VerificationStage, WindowCheckStage,
+    StageVerdict, StaticSafetyStage, VerificationStage, WindowCheckStage,
 )
 
 __all__ = ["StageStats", "PipelineStats", "PipelineOutcome",
@@ -145,9 +145,16 @@ class VerificationPipeline:
                  stages: Optional[List[VerificationStage]] = None,
                  interpreter: Optional[Interpreter] = None,
                  max_pool_size: int = 64,
-                 engine=None):
+                 engine=None,
+                 analyzer=None):
         self.options = options or EquivalenceOptions()
         self.cache = cache if cache is not None else EquivalenceCache()
+        #: Fused abstract analyzer backing the static-safety pre-stage; when
+        #: None (e.g. the ``--analysis legacy`` ablation) the stage is
+        #: omitted entirely.  The search loop passes the analyzer instance
+        #: shared with its :class:`~repro.safety.SafetyChecker`, so stage
+        #: verdicts are program-memo hits.
+        self.analyzer = analyzer
         # One long-lived execution engine feeds the replay stage (and is
         # shared with the owning chain's test suite when the caller passes
         # the same instance); ``interpreter`` is the pre-engine name for the
@@ -157,11 +164,16 @@ class VerificationPipeline:
         self.interpreter = self.engine
         self.checker = EquivalenceChecker(self.options)
         self.window_checker = WindowEquivalenceChecker(self.options)
-        self.stages: List[VerificationStage] = stages if stages is not None \
-            else [InterpreterReplayStage(),
-                  CacheLookupStage(),
-                  WindowCheckStage(self.window_checker),
-                  FullSymbolicStage(self.checker)]
+        if stages is not None:
+            self.stages: List[VerificationStage] = stages
+        else:
+            self.stages = []
+            if self.analyzer is not None:
+                self.stages.append(StaticSafetyStage())
+            self.stages.extend([InterpreterReplayStage(),
+                                CacheLookupStage(),
+                                WindowCheckStage(self.window_checker),
+                                FullSymbolicStage(self.checker)])
         self.stats = PipelineStats(tuple(s.name for s in self.stages))
         #: Counterexample pool feeding the replay stage, newest last.
         self._pool: List[ProgramInput] = []
@@ -243,7 +255,11 @@ class VerificationPipeline:
                 equivalent=False, unknown=True,
                 reason="verification pipeline exhausted without a conclusive "
                        "stage")
-        if self.options.enable_cache and concluded_by not in ("cache", "none"):
+        # Safety-stage rejections stay out of the equivalence cache: the
+        # static verdict is conservative ("may misbehave"), not a proof
+        # that the two programs differ on some input.
+        if self.options.enable_cache and concluded_by not in ("cache", "none",
+                                                              "safety"):
             self.cache.store(candidate, final)
         if final.counterexample is not None:
             self.add_counterexample(final.counterexample)

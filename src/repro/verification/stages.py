@@ -38,8 +38,8 @@ from ..equivalence import (
 )
 
 __all__ = ["StageOutcome", "StageVerdict", "VerificationStage",
-           "InterpreterReplayStage", "CacheLookupStage", "WindowCheckStage",
-           "FullSymbolicStage", "changed_window"]
+           "StaticSafetyStage", "InterpreterReplayStage", "CacheLookupStage",
+           "WindowCheckStage", "FullSymbolicStage", "changed_window"]
 
 #: Windows larger than this fall back to full-program verification, matching
 #: the pre-pipeline search behaviour.
@@ -96,6 +96,45 @@ class VerificationStage:
     def run(self, pipeline, source: BpfProgram, candidate: BpfProgram,
             window: Optional[Window]) -> StageVerdict:
         raise NotImplementedError
+
+
+class StaticSafetyStage(VerificationStage):
+    """Tier 0: reject statically-unsafe candidates before any execution.
+
+    Runs the fused abstract interpreter (:mod:`repro.analysis`) on the
+    candidate — and, memoized, on the source — and rejects when the source
+    is safe but the candidate provably misbehaves (§6).  Such a candidate
+    is useless to the synthesizer regardless of its input/output behaviour,
+    so refusing it here saves the replay batch and any solver work.
+
+    Inside the search loop this stage is a cheap no-op safeguard: the chain
+    checks safety *before* querying the pipeline with the same shared
+    analyzer, so the verdict is a program-memo hit and the stage escalates.
+    Its rejections matter when the pipeline is driven standalone (benches,
+    library users).  The pipeline never caches a safety rejection in the
+    equivalence cache: "unsafe" is a conservative static verdict, not a
+    proof of non-equivalence.
+    """
+
+    name = "safety"
+
+    def enabled(self, pipeline) -> bool:
+        return pipeline.analyzer is not None
+
+    def run(self, pipeline, source, candidate, window) -> StageVerdict:
+        candidate_outcome = pipeline.analyzer.analyze(candidate)
+        if candidate_outcome.safe:
+            return StageVerdict(self.name, StageOutcome.ESCALATE,
+                                detail="candidate statically safe")
+        if not pipeline.analyzer.analyze(source).safe:
+            return StageVerdict(self.name, StageOutcome.ESCALATE,
+                                detail="source itself statically unsafe")
+        kinds = ", ".join(sorted(k.value
+                                 for k in candidate_outcome.violation_kinds()))
+        result = EquivalenceResult(
+            equivalent=False,
+            reason=f"candidate rejected by static safety analysis ({kinds})")
+        return StageVerdict(self.name, StageOutcome.REJECT, result)
 
 
 class InterpreterReplayStage(VerificationStage):

@@ -1,0 +1,105 @@
+"""Golden verdict regression corpus for the safety analyzers.
+
+``tests/golden_verdicts.json`` pins, for every corpus benchmark and every
+hand-written variant in :mod:`golden_helpers`, the expected verdict:
+``safe`` flag, the set of violation kinds, and the kernel-checker accept
+bit.  Both analysis implementations must reproduce the pinned verdicts —
+if a transfer-function change shifts any verdict, this suite fails loudly
+and the golden file must be regenerated *deliberately*.
+
+Regenerate after an intentional semantic change with::
+
+    PYTHONPATH=src:tests python tests/test_analysis_golden.py --regenerate
+"""
+
+import json
+
+import pytest
+
+from golden_helpers import GOLDEN_PATH, unsafe_variants
+from repro.corpus import all_benchmarks
+from repro.safety import SafetyChecker
+from repro.verifier import KernelChecker
+
+MODES = ("fused", "legacy")
+
+
+def observed_verdict(program, mode):
+    result = SafetyChecker(mode=mode).check(program)
+    kernel = KernelChecker(mode=mode).load(program)
+    return {"safe": result.safe,
+            "kinds": sorted({v.kind.value for v in result.violations}),
+            "kernel_accepted": bool(kernel.accepted)}
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(GOLDEN_PATH, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_corpus_verdicts_match_golden(golden, mode):
+    drift = {}
+    for bench in all_benchmarks():
+        expected = golden["corpus"][bench.name]
+        got = observed_verdict(bench.program(), mode)
+        if got != expected:
+            drift[bench.name] = (expected, got)
+    assert not drift, f"verdict drift ({mode}): {drift}"
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_variant_verdicts_match_golden(golden, mode):
+    drift = {}
+    for name, program in unsafe_variants().items():
+        expected = golden["variants"][name]
+        got = observed_verdict(program, mode)
+        if got != expected:
+            drift[name] = (expected, got)
+    assert not drift, f"verdict drift ({mode}): {drift}"
+
+
+def test_golden_covers_every_benchmark(golden):
+    assert set(golden["corpus"]) == {b.name for b in all_benchmarks()}
+    assert set(golden["variants"]) == set(unsafe_variants())
+
+
+def test_fused_is_verdict_identical_to_legacy():
+    """The acceptance criterion, asserted directly (not via the pin)."""
+    for bench in all_benchmarks():
+        program = bench.program()
+        assert observed_verdict(program, "fused") == \
+            observed_verdict(program, "legacy"), bench.name
+    for name, program in unsafe_variants().items():
+        assert observed_verdict(program, "fused") == \
+            observed_verdict(program, "legacy"), name
+
+
+def test_variants_exercise_both_verdicts(golden):
+    safes = [n for n, v in golden["variants"].items() if v["safe"]]
+    unsafes = [n for n, v in golden["variants"].items() if not v["safe"]]
+    assert len(safes) >= 2 and len(unsafes) >= 15
+
+
+def _regenerate():  # pragma: no cover - maintenance entry point
+    golden = {"corpus": {}, "variants": {}}
+    for bench in all_benchmarks():
+        program = bench.program()
+        fused = observed_verdict(program, "fused")
+        assert fused == observed_verdict(program, "legacy"), bench.name
+        golden["corpus"][bench.name] = fused
+    for name, program in unsafe_variants().items():
+        fused = observed_verdict(program, "fused")
+        assert fused == observed_verdict(program, "legacy"), name
+        golden["variants"][name] = fused
+    with open(GOLDEN_PATH, "w", encoding="utf-8") as handle:
+        json.dump(golden, handle, indent=1, sort_keys=True)
+    print(f"regenerated {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    if "--regenerate" in sys.argv:
+        _regenerate()

@@ -1,0 +1,279 @@
+"""Differential soundness fuzzing of the fused abstract analyzer.
+
+The fused analyzer (:mod:`repro.analysis`) claims to predict every way a
+program can fault in the execution engine.  This suite checks both
+directions of that claim on randomly mutated corpus programs:
+
+* **accept ⇒ no fault**: any program the analyzer calls *safe* must never
+  fault in the decoded engine, on any of a battery of randomized and
+  adversarial inputs;
+* **fault ⇒ flagged**: any program that faults on some input must carry at
+  least one static violation (the analyzer may reject it for a different —
+  conservative — reason, but it must reject it).
+
+Programs are generated the way the synthesizer generates them: start from
+a corpus benchmark (built from the corpus block library) and apply a few
+random MCMC rewrite proposals, which yields realistic mixes of safe
+programs, subtly-broken memory accesses, clobbered bounds checks and dead
+code.  A 30-program sweep runs in default CI; the 200-program sweep runs
+under the ``slow`` marker.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import AbstractAnalyzer
+from repro.corpus import get_benchmark
+from repro.engine import ExecutionEngine
+from repro.interpreter import ProgramInput
+from repro.synthesis.proposals import ProposalGenerator
+from repro.synthesis.testcases import TestCaseGenerator as InputGenerator
+
+#: Benchmarks whose programs exercise every region kind (stack, packet,
+#: ctx, map values) and most helpers.
+BASE_BENCHMARKS = [
+    "xdp_pktcntr", "xdp1", "xdp_fw", "xdp_map_access", "xdp_exception",
+    "from-network", "sys_enter_open", "xdp_fwd",
+]
+
+SMOKE_PROGRAMS = 30
+SLOW_PROGRAMS = 200
+INPUTS_PER_PROGRAM = 12
+
+
+def _adversarial_inputs(program):
+    """Inputs that stress boundary conditions regardless of the hook."""
+    inputs = [
+        ProgramInput(packet=b""),
+        ProgramInput(packet=bytes(1)),
+        ProgramInput(packet=bytes(14)),
+        ProgramInput(packet=bytes(64)),
+    ]
+    if program.maps.definitions():
+        # Empty maps force bpf_map_lookup_elem to return NULL.
+        inputs.append(ProgramInput(packet=bytes(64), map_contents={}))
+    return inputs
+
+
+def _generate_program(index: int):
+    """Corpus program number ``index`` with a few random rewrite proposals."""
+    rng = random.Random(0xA11A + index)
+    base = get_benchmark(rng.choice(BASE_BENCHMARKS)).program()
+    generator = ProposalGenerator(base, rng)
+    instructions = list(base.instructions)
+    for _ in range(rng.randrange(0, 7)):
+        instructions = generator.propose(instructions)
+    return base.with_instructions(instructions, name=f"fuzz_{index}")
+
+
+def _run_inputs(engine, program):
+    """(faulting input, fault) for the first fault, else (None, None)."""
+    generator = InputGenerator(program, seed=0xBEEF ^ len(program))
+    tests = _adversarial_inputs(program) + \
+        generator.generate(INPUTS_PER_PROGRAM)
+    for test in tests:
+        output = engine.run(program, test)
+        if output.fault is not None:
+            return test, output.fault
+    return None, None
+
+
+def _sweep(num_programs: int):
+    analyzer = AbstractAnalyzer()
+    engine = ExecutionEngine()
+    accepted = faulted = 0
+    failures = []
+    for index in range(num_programs):
+        program = _generate_program(index)
+        if not program.is_valid():
+            continue
+        outcome = analyzer.analyze(program)
+        test, fault = _run_inputs(engine, program)
+        if outcome.safe:
+            accepted += 1
+            if fault is not None:
+                failures.append(
+                    f"[accepted but faults] program {index} "
+                    f"({program.name}): {fault}\n  input: {test!r}\n"
+                    f"{program.to_text()}")
+        elif fault is not None:
+            faulted += 1
+        # Unsafe verdicts with no observed fault are fine: the analyzer is
+        # conservative and the input battery is not exhaustive.
+    assert not failures, "\n\n".join(failures)
+    # The sweep must exercise both sides of the verdict to mean anything.
+    assert accepted >= num_programs // 10, \
+        f"sweep degenerated: only {accepted} accepted programs"
+    assert faulted >= num_programs // 10, \
+        f"sweep degenerated: only {faulted} faulting programs"
+
+
+def test_soundness_smoke_sweep():
+    """Default-CI sweep: 30 mutated corpus programs."""
+    _sweep(SMOKE_PROGRAMS)
+
+
+@pytest.mark.slow
+def test_soundness_full_sweep():
+    """The 200-program sweep (slow marker)."""
+    _sweep(SLOW_PROGRAMS)
+
+
+def test_faulting_programs_are_flagged():
+    """fault ⇒ flagged, asserted program-by-program for clearer reporting."""
+    analyzer = AbstractAnalyzer()
+    engine = ExecutionEngine()
+    checked = 0
+    for index in range(SMOKE_PROGRAMS):
+        program = _generate_program(1000 + index)
+        if not program.is_valid():
+            continue
+        test, fault = _run_inputs(engine, program)
+        if fault is None:
+            continue
+        checked += 1
+        outcome = analyzer.analyze(program)
+        assert not outcome.safe, \
+            (f"program {index} faults ({fault}) on {test!r} but the "
+             f"analyzer reports no violation:\n{program.to_text()}")
+    assert checked > 0
+
+
+class TestKnownInterpreterFaults:
+    """Fault classes the legacy analysis provably missed.
+
+    Each program here faults in the engine on a trivial input; the fused
+    analyzer must flag every one of them.  (These are exactly the checks
+    that were added when the two legacy passes were unified: helper
+    argument regions, atomic adds through ctx, partial spilled-pointer
+    overwrites, width-mismatched ctx pointer loads and stale packet
+    pointers after ``bpf_xdp_adjust_head``.)
+    """
+
+    def setup_method(self):
+        self.analyzer = AbstractAnalyzer()
+        self.engine = ExecutionEngine()
+
+    def assert_fault_is_flagged(self, program):
+        test, fault = _run_inputs(self.engine, program)
+        assert fault is not None, \
+            f"expected a runtime fault:\n{program.to_text()}"
+        outcome = self.analyzer.analyze(program)
+        assert not outcome.safe, \
+            (f"engine faults ({fault}) but the fused analyzer reports no "
+             f"violation:\n{program.to_text()}")
+
+    def test_map_lookup_with_scalar_key_pointer(self):
+        from repro.bpf import assemble, get_hook, BpfProgram, HookType
+        from repro.bpf.maps import MapDef, MapEnvironment, MapType
+
+        maps = MapEnvironment([MapDef(fd=1, name="m", map_type=MapType.ARRAY,
+                                      key_size=4, value_size=8, max_entries=4)])
+        program = BpfProgram(instructions=assemble(
+            "mov64 r2, 4\n"            # scalar, not a key pointer
+            "ld_map_fd r1, 1\n"
+            "call bpf_map_lookup_elem\n"
+            "mov64 r0, 1\n"
+            "exit"), hook=get_hook(HookType.XDP), maps=maps, name="bad_key")
+        self.assert_fault_is_flagged(program)
+
+    def test_xadd_through_ctx_pointer(self):
+        from repro.bpf import assemble, get_hook, BpfProgram, HookType
+
+        program = BpfProgram(instructions=assemble(
+            "mov64 r2, 1\n"
+            "xadd64 [r1+16], r2\n"     # atomic add into xdp_md
+            "mov64 r0, 1\n"
+            "exit"), hook=get_hook(HookType.XDP), name="xadd_ctx")
+        self.assert_fault_is_flagged(program)
+
+    def test_partial_overwrite_of_spilled_pointer(self):
+        from repro.bpf import assemble, get_hook, BpfProgram, HookType
+
+        program = BpfProgram(instructions=assemble(
+            "mov64 r6, r10\n"
+            "add64 r6, -8\n"           # a valid stack pointer
+            "stxdw [r10-16], r6\n"     # spill it
+            "mov64 r7, 0\n"
+            "stxw [r10-12], r7\n"      # clobber its upper half
+            "ldxdw r8, [r10-16]\n"     # reload the garbled spill
+            "stxdw [r8+0], r7\n"       # and store through it
+            "mov64 r0, 1\n"
+            "exit"), hook=get_hook(HookType.XDP), name="partial_spill")
+        self.assert_fault_is_flagged(program)
+
+    def test_narrow_load_of_ctx_packet_pointer_field(self):
+        from repro.bpf import assemble, get_hook, BpfProgram, HookType
+
+        program = BpfProgram(instructions=assemble(
+            "ldxh r2, [r1+0]\n"        # 2 bytes of the data pointer field
+            "ldxw r3, [r1+4]\n"
+            "mov64 r4, r2\n"
+            "add64 r4, 14\n"
+            "jgt r4, r3, +1\n"
+            "ldxb r0, [r2+0]\n"        # r2 is raw scalar bytes, not a pointer
+            "mov64 r0, 1\n"
+            "exit"), hook=get_hook(HookType.XDP), name="narrow_ctx_load")
+        self.assert_fault_is_flagged(program)
+
+    def test_offset_zero_conditional_jump_refines_neither_outcome(self):
+        # jeq r2, 0, +0 reaches the same instruction on both outcomes; the
+        # analyzer must not conclude r2 == 0 there (an earlier version
+        # labeled the collapsed edge "taken" and did exactly that).
+        from repro.bpf import assemble, get_hook, BpfProgram, HookType
+
+        program = BpfProgram(instructions=assemble(
+            "ldxw r2, [r1+4]\n"
+            "ldxw r3, [r1+0]\n"
+            "sub64 r2, r3\n"
+            "jeq r2, 0, +0\n"          # no-op branch: r2 stays unknown
+            "mov64 r4, r10\n"
+            "add64 r4, r2\n"
+            "stxdw [r4-8], r2\n"       # unbounded stack offset
+            "mov64 r0, 1\n"
+            "exit"), hook=get_hook(HookType.XDP), name="off0_jeq")
+        self.assert_fault_is_flagged(program)
+
+    def test_conditional_jump_at_end_can_run_past_the_program(self):
+        # When the final conditional jump falls through, pc lands outside
+        # the program and the interpreter faults with InvalidJumpTarget.
+        from repro.bpf import assemble, get_hook, BpfProgram, HookType
+
+        program = BpfProgram(instructions=assemble(
+            "ldxw r2, [r1+16]\n"
+            "mov64 r0, 1\n"
+            "jeq r2, 0, +1\n"
+            "exit\n"
+            "jeq r2, 1, -2"), hook=get_hook(HookType.XDP), name="fall_off")
+        self.assert_fault_is_flagged(program)
+
+    def test_stale_packet_pointer_after_adjust_head(self):
+        from repro.bpf import assemble, get_hook, BpfProgram, HookType
+
+        program = BpfProgram(instructions=assemble(
+            "ldxw r2, [r1+0]\n"
+            "ldxw r3, [r1+4]\n"
+            "mov64 r6, r2\n"           # save the packet pointer
+            "mov64 r4, r2\n"
+            "add64 r4, 14\n"
+            "jgt r4, r3, +3\n"
+            "mov64 r2, 4\n"
+            "call bpf_xdp_adjust_head\n"
+            "ldxb r0, [r6+0]\n"        # stale: the packet moved
+            "mov64 r0, 1\n"
+            "exit"), hook=get_hook(HookType.XDP), name="stale_pkt_ptr")
+        self.assert_fault_is_flagged(program)
+
+
+def test_verdicts_deterministic_and_memo_independent():
+    """Memoized and from-scratch analysis agree on every fuzz program."""
+    analyzer = AbstractAnalyzer()
+    for index in range(SMOKE_PROGRAMS):
+        program = _generate_program(index)
+        if not program.is_valid():
+            continue
+        memoized = analyzer.analyze(program)
+        fresh = AbstractAnalyzer().analyze(program, use_memo=False)
+        assert memoized.safe == fresh.safe
+        assert memoized.violation_kinds() == fresh.violation_kinds()

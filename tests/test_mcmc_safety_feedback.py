@@ -1,0 +1,84 @@
+"""Regression tests for safety-counterexample feedback in the MCMC loop.
+
+An earlier version of :meth:`MarkovChain._evaluate` sliced the safety
+checker's counterexamples to ``[:1]``, silently dropping every adversarial
+input after the first.  The loop must feed back *all* of them: each unique
+input joins the chain's test suite (deduplicated) and the chain's
+``discovered_counterexamples`` buffer, which the parallel controller
+drains into the cross-chain shared pool.
+"""
+
+from repro.analysis import SafetyResult, SafetyViolation, SafetyViolationKind
+from repro.bpf import BpfProgram, HookType, assemble, get_hook
+from repro.interpreter import ProgramInput
+from repro.synthesis.mcmc import MarkovChain
+
+
+def _source():
+    return BpfProgram(instructions=assemble(
+        "mov64 r0, 2\nmov64 r1, 1\nadd64 r0, 0\nexit"),
+        hook=get_hook(HookType.XDP), name="src")
+
+
+class _StubSafety:
+    """Always-unsafe checker returning a fixed counterexample list."""
+
+    def __init__(self, counterexamples):
+        self.counterexamples = counterexamples
+        self.num_checks = 0
+
+    def check(self, program):
+        self.num_checks += 1
+        return SafetyResult(
+            [SafetyViolation(SafetyViolationKind.OUT_OF_BOUNDS, 0, "stub")],
+            list(self.counterexamples))
+
+
+def test_all_safety_counterexamples_feed_back():
+    chain = MarkovChain(_source(), seed=3, lazy_safety=False)
+    counterexamples = [ProgramInput(packet=bytes([i] * 8)) for i in range(3)]
+    chain.safety = _StubSafety(counterexamples)
+
+    suite_before = len(chain.tests.tests)
+    chain._evaluate(chain.source.with_instructions(chain.source.instructions))
+
+    assert len(chain.tests.tests) == suite_before + 3
+    assert chain.stats.counterexamples_added == 3
+    assert len(chain.discovered_counterexamples) == 3
+    keys = {test.freeze_key() for test in chain.discovered_counterexamples}
+    assert keys == {test.freeze_key() for test in counterexamples}
+
+
+def test_duplicate_counterexamples_deduplicated_into_shared_pool():
+    chain = MarkovChain(_source(), seed=3, lazy_safety=False)
+    unique = ProgramInput(packet=b"\xaa" * 9)
+    chain.safety = _StubSafety([unique, unique, ProgramInput(packet=b"\xbb")])
+
+    suite_before = len(chain.tests.tests)
+    chain._evaluate(chain.source.with_instructions(chain.source.instructions))
+    # Two unique inputs, the repeat is dropped by the suite's dedup.
+    assert len(chain.tests.tests) == suite_before + 2
+    assert len(chain.discovered_counterexamples) == 2
+
+    # A second unsafe evaluation with the same inputs adds nothing.
+    chain._evaluate(chain.source.with_instructions(chain.source.instructions))
+    assert len(chain.tests.tests) == suite_before + 2
+    assert len(chain.discovered_counterexamples) == 2
+
+
+def test_real_safety_checker_produces_multiple_counterexamples():
+    """The stock checker's XDP battery has >1 input — all must be offered."""
+    chain = MarkovChain(_source(), seed=5, lazy_safety=False)
+    unsafe = chain.source.with_instructions(assemble(
+        "ldxw r2, [r1+0]\nldxb r0, [r2+0]\nexit"))
+    result = chain.safety.check(unsafe)
+    assert not result.safe
+    assert len(result.counterexamples) > 1
+
+    suite_before = len(chain.tests.tests)
+    chain._evaluate(unsafe)
+    added = len(chain.tests.tests) - suite_before
+    # Every counterexample not already in the suite was adopted, not just
+    # the first one.
+    assert added == len(chain.discovered_counterexamples)
+    assert added > 1
