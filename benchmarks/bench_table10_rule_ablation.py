@@ -5,7 +5,6 @@ MEM2) and the contiguous-replacement rule (CONT) are selectively disabled,
 reproducing the structure of Table 10.
 """
 
-import dataclasses
 
 import pytest
 

@@ -10,11 +10,11 @@ EXPERIMENTS.md records how the numbers printed here relate to the paper's.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 from repro.core import K2Compiler, OptimizationGoal
-from repro.corpus import BenchmarkProgram, get_benchmark
-from repro.synthesis import ParameterSetting, SearchOptions, Synthesizer
+from repro.corpus import get_benchmark
+from repro.synthesis import ParameterSetting
 
 #: Benchmarks small enough to run the full search in a few seconds each.
 SMALL_BENCHMARKS = [

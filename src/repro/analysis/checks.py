@@ -18,7 +18,7 @@ and the memory regions behind key/value/params pointers).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from ..bpf.helpers import HELPERS, HelperId
 from ..bpf.opcodes import AluOp, STACK_SIZE

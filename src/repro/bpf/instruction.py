@@ -18,15 +18,7 @@ import dataclasses
 from typing import Optional
 
 from .opcodes import (
-    ALU_OP_NAMES,
-    JMP_OP_NAMES,
-    SIZE_BYTES,
-    AluOp,
-    InsnClass,
-    JmpOp,
-    MemMode,
-    MemSize,
-    SrcOperand,
+    SIZE_BYTES, AluOp, InsnClass, JmpOp, MemMode, MemSize, SrcOperand,
 )
 
 __all__ = ["Instruction", "NOP"]

@@ -10,7 +10,7 @@ A backward may-analysis over the CFG.  It is used by:
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Sequence, Set
+from typing import FrozenSet, List, Sequence, Set
 
 from .cfg import ControlFlowGraph, build_cfg
 from .instruction import Instruction

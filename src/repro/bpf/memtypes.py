@@ -28,7 +28,7 @@ import dataclasses
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .cfg import ControlFlowGraph, build_cfg
-from .helpers import HELPERS, HelperId
+from .helpers import HELPERS
 from .hooks import CtxFieldKind, Hook
 from .instruction import Instruction
 from .opcodes import STACK_SIZE, AluOp, JmpOp, MemSize

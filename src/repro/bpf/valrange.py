@@ -28,7 +28,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Sequence
 
-from .cfg import CfgError, build_cfg
+from .cfg import build_cfg
 from .hooks import Hook
 from .instruction import Instruction
 from .opcodes import AluOp, InsnClass, JmpOp, NUM_REGISTERS

@@ -44,7 +44,10 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
                           num_workers=args.num_workers, executor=args.executor,
                           sync_interval=args.sync_interval,
                           verify_stages=args.verify_pipeline,
-                          engine=args.engine, analysis=args.analysis)
+                          engine=args.engine, analysis=args.analysis,
+                          windowed=args.windowed,
+                          window_size=args.window_size,
+                          window_overlap=args.window_overlap)
     result = compiler.optimize(program)
     print(result.summary())
     print()
@@ -135,6 +138,21 @@ def main(argv=None) -> int:
                                "static-safety pipeline pre-stage), 'legacy' "
                                "is the original two-pass analysis kept for "
                                "ablation (default: %(default)s)")
+    optimize.add_argument("--windowed", action="store_true",
+                          help="windowed segment synthesis: slice the program "
+                               "into overlapping windows, search each window "
+                               "with its own chains and window-local proposal "
+                               "pools, stitch the best rewrites and re-verify "
+                               "the stitched program against the source "
+                               "through the full tiered pipeline (programs "
+                               "no longer than --window-size fall back to "
+                               "the whole-program search)")
+    optimize.add_argument("--window-size", type=int, default=24, metavar="N",
+                          help="instructions per candidate window "
+                               "(default: %(default)s)")
+    optimize.add_argument("--window-overlap", type=int, default=8, metavar="N",
+                          help="instructions shared by consecutive windows "
+                               "(default: %(default)s)")
     optimize.add_argument("--verify-pipeline", default=None, metavar="STAGES",
                           help="comma-separated verification stages to enable, "
                                "in escalation order, from: replay, cache, "
@@ -165,6 +183,11 @@ def main(argv=None) -> int:
     if args.command in ("optimize", "check") and not args.program \
             and not args.benchmark:
         parser.error("provide a program file or --benchmark NAME")
+    if args.command == "optimize" and (
+            args.window_size < 2
+            or not 0 <= args.window_overlap < args.window_size):
+        parser.error("--window-size must be >= 2 and --window-overlap must "
+                     "be >= 0 and smaller than --window-size")
     if args.command == "optimize" and args.verify_pipeline is not None:
         try:
             EquivalenceOptions.from_stages(args.verify_pipeline)

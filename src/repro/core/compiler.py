@@ -29,7 +29,7 @@ from ..bpf.program import BpfProgram
 from ..equivalence import EquivalenceOptions
 from ..perf.latency_model import DEFAULT_LATENCY_MODEL
 from ..synthesis.cost import PerformanceGoal
-from ..synthesis.params import ParameterSetting, all_parameter_settings
+from ..synthesis.params import ParameterSetting
 from ..synthesis.search import SearchOptions, SearchResult, Synthesizer
 from ..verification import summarize_verification_stats
 from ..verifier import KernelChecker, KernelCheckerVerdict
@@ -107,6 +107,23 @@ class CompilationResult:
         if verification:
             lines.append(
                 f"verify:        {summarize_verification_stats(verification)}")
+        windows = self.search.window_stats
+        if windows:
+            adopted = [w for w in windows if w.adopted]
+            removed = sum(w.insns_removed for w in adopted)
+            if self.search.stitch_verified is None:
+                stitch = "unchanged"
+            elif not self.search.stitch_verified:
+                stitch = "proof FAILED (fell back to source)"
+            elif self.search.best is None:
+                stitch = "verified, kernel-checker REJECTED " \
+                         "(fell back to source)"
+            else:
+                stitch = "verified"
+            lines.append(
+                f"windows:       {len(windows)} planned, "
+                f"{len(adopted)} adopted, {removed} insns removed, "
+                f"stitch {stitch}")
         return "\n".join(lines)
 
 
@@ -126,12 +143,21 @@ class K2Compiler:
                  equivalence: Optional[EquivalenceOptions] = None,
                  engine: str = "decoded",
                  analysis: str = "fused",
+                 windowed: bool = False,
+                 window_size: int = 24,
+                 window_overlap: int = 8,
                  options: Optional[SearchOptions] = None):
         if options is not None and (verify_stages is not None
                                     or equivalence is not None):
             raise ValueError("an explicit SearchOptions already carries its "
                              "EquivalenceOptions; do not combine options with "
                              "verify_stages/equivalence")
+        if options is not None and (windowed or window_size != 24
+                                    or window_overlap != 8):
+            raise ValueError("an explicit SearchOptions already carries its "
+                             "window_mode/window_size/window_overlap; set "
+                             "them on the SearchOptions instead of the "
+                             "windowed/window_* kwargs")
         if options is None:
             if equivalence is None:
                 equivalence = EquivalenceOptions.from_stages(verify_stages) \
@@ -152,7 +178,10 @@ class K2Compiler:
                 sync_interval=sync_interval,
                 equivalence=equivalence,
                 engine=engine,
-                analysis=analysis)
+                analysis=analysis,
+                window_mode=windowed,
+                window_size=window_size,
+                window_overlap=window_overlap)
         self.options = options
         self.kernel_checker = KernelChecker(mode=self.options.analysis)
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import List
 
 from ..bpf import builders as b
-from ..bpf.helpers import HelperId, XDP_DROP, XDP_PASS, XDP_TX
+from ..bpf.helpers import HelperId
 from ..bpf.instruction import Instruction
 from ..bpf.opcodes import JmpOp, MemSize
 

@@ -37,7 +37,7 @@ from ..interpreter import ProgramInput
 from ..smt import (
     CheckResult, Expr, Solver, bool_and, bool_or, bool_xor, bv_ne,
 )
-from .memory_model import SymbolicInputs
+from .memory_model import SymbolicInputs, map_congruence_constraints
 from .symbolic import ImpreciseEncodingError, SymbolicExecutor, SymbolicResult
 
 __all__ = ["EquivalenceOptions", "EquivalenceResult", "EquivalenceChecker"]
@@ -233,6 +233,15 @@ class EquivalenceChecker:
         token = solver.push()
         try:
             for constraint in result2.constraints:
+                solver.add(constraint)
+            # Link the two executions' initial map reads semantically (equal
+            # keys => equal initial contents); keys read through distinct
+            # expressions otherwise get unrelated variables, and the solver
+            # fabricates counterexamples for equivalent programs.  Scoped to
+            # this query: the candidate's key expressions are new each time.
+            reads = (result1.map_model.initial_reads
+                     + result2.map_model.initial_reads)
+            for constraint in map_congruence_constraints(session.inputs, reads):
                 solver.add(constraint)
             solver.add(difference)
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Tuple
 
-from ..bpf.hooks import CtxFieldKind, Hook
+from ..bpf.hooks import Hook
 from ..bpf.maps import MapEnvironment
 from ..bpf.regions import MemRegion
 from ..smt import (
@@ -30,7 +30,7 @@ from ..smt import (
 
 __all__ = ["SymbolicInputs", "MemoryWrite", "RegionMemory", "MapModel",
            "MapLookupInstance", "MapEffect", "HelperCallRecord",
-           "MODEL_PACKET_SIZE"]
+           "MODEL_PACKET_SIZE", "map_congruence_constraints"]
 
 #: Maximum packet size modelled symbolically (bytes).  Counterexamples and
 #: generated test packets fit within this bound.
@@ -93,7 +93,7 @@ class SymbolicInputs:
 
     def constraints(self) -> List[Expr]:
         """Well-formedness constraints on the inputs."""
-        from ..smt import bv_ule, bv_ult
+        from ..smt import bv_ule
         constraints = [
             bv_ule(self.pkt_len, bv_const(MODEL_PACKET_SIZE, 64)),
             # Region bases are far apart and non-zero, mirroring the flat
@@ -289,6 +289,10 @@ class MapModel:
         self.lookups: List[MapLookupInstance] = []
         self.effects: List[MapEffect] = []
         self.constraints: List[Expr] = []
+        #: ``(map_fd, key expression)`` of every initial-contents read this
+        #: execution performed, for the cross-program congruence constraints
+        #: (:func:`map_congruence_constraints`).
+        self.initial_reads: List[Tuple[int, Expr]] = []
         self._initial_present: Dict[Tuple[int, Expr], Expr] = {}
         self._initial_value: Dict[Tuple[int, Expr], List[Expr]] = {}
 
@@ -339,6 +343,7 @@ class MapModel:
         # Initial (pre-program) contents for this key valuation.
         present: Expr = self._initial_present_for(map_fd, key)
         value: List[Expr] = list(self._initial_value_for(map_fd, key, value_size))
+        self.initial_reads.append((map_fd, key))
 
         # Apply this program's earlier updates and deletes (§4.3: a lookup
         # must observe the latest write to the same key valuation).
@@ -398,3 +403,52 @@ def bool_ite_expr(condition: Expr, then_value: bool, otherwise: Expr) -> Expr:
     if then_value:
         return bool_or(condition, otherwise)
     return bool_and(bool_not(condition), otherwise)
+
+
+def map_congruence_constraints(inputs: SymbolicInputs,
+                               reads: List[Tuple[int, Expr]]) -> List[Expr]:
+    """Congruence of the shared initial map contents over ``reads``.
+
+    The initial-contents tables of :class:`MapModel` are keyed by the key's
+    *expression*: two executions computing the same key through syntactically
+    identical expressions share one presence/value valuation for free.  When
+    the expressions differ — e.g. the candidate's key is built under a path
+    condition that names its own lookup-presence variables — each execution
+    gets fresh initial-contents variables, and without further constraints
+    the solver may assign them different values for semantically *equal*
+    keys, fabricating counterexamples for genuinely equivalent programs
+    (observed on every two-lookup corpus program).
+
+    This is the Ackermann expansion of the "maps are functions of their
+    keys" axiom (paper §4.3), restricted to the key expressions the current
+    query actually read: for every same-map pair, ``key_a == key_b`` implies
+    equal initial presence and equal initial value bytes.
+    """
+    presence = getattr(inputs, "_map_presence", {})
+    values = getattr(inputs, "_map_values", {})
+    unique: List[Tuple[int, Expr]] = []
+    seen = set()
+    for map_fd, key in reads:
+        token = (map_fd, key)
+        if token in seen or token not in presence:
+            continue
+        seen.add(token)
+        unique.append(token)
+
+    constraints: List[Expr] = []
+    for index, (fd_a, key_a) in enumerate(unique):
+        for fd_b, key_b in unique[index + 1:]:
+            if fd_a != fd_b or key_a.width != key_b.width:
+                continue
+            same_key = bv_eq(key_a, key_b)
+            present_a = presence[(fd_a, key_a)]
+            present_b = presence[(fd_b, key_b)]
+            constraints.append(bool_or(
+                bool_not(same_key),
+                bool_and(bool_or(bool_not(present_a), present_b),
+                         bool_or(bool_not(present_b), present_a))))
+            for byte_a, byte_b in zip(values.get((fd_a, key_a), []),
+                                      values.get((fd_b, key_b), [])):
+                constraints.append(bool_or(bool_not(same_key),
+                                           bv_eq(byte_a, byte_b)))
+    return constraints

@@ -27,11 +27,11 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Tuple
 
-from ..bpf.cfg import ControlFlowGraph, build_cfg
+from ..bpf.cfg import build_cfg
 from ..bpf.helpers import HELPERS, HelperId
 from ..bpf.hooks import CtxFieldKind, Hook
 from ..bpf.instruction import Instruction
-from ..bpf.opcodes import AluOp, JmpOp, MemSize, SrcOperand, STACK_SIZE
+from ..bpf.opcodes import AluOp, JmpOp, SrcOperand, STACK_SIZE
 from ..bpf.program import BpfProgram
 from ..bpf.regions import MemRegion
 from ..interpreter.state import MAP_PTR_BASE

@@ -14,20 +14,14 @@ interpreter and the verification-condition generator from one specification.
 from __future__ import annotations
 
 import threading
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from ..bpf.helpers import HelperId, XDP_REDIRECT, helper_spec
 from ..bpf.instruction import Instruction
-from ..bpf.maps import MapEnvironment
-from ..bpf.opcodes import AluOp, JmpOp, MemSize, SrcOperand, STACK_SIZE
+from ..bpf.opcodes import AluOp, SrcOperand, STACK_SIZE
 from ..bpf.program import BpfProgram
 from ..bpf.regions import (
-    CTX_BASE,
-    MAP_VALUE_BASE,
-    PACKET_BASE,
-    STACK_BASE,
-    MemRegion,
-    region_for_address,
+    CTX_BASE, PACKET_BASE, STACK_BASE, MemRegion, region_for_address,
 )
 from ..semantics import alu_op_concrete, byteswap, jump_taken_concrete
 from .errors import (

@@ -16,7 +16,7 @@ from typing import Dict, List, Optional
 from ..bpf.hooks import CtxFieldKind, Hook
 from ..bpf.maps import MapEnvironment, MapState
 from ..bpf.opcodes import STACK_SIZE
-from ..bpf.regions import CTX_BASE, PACKET_BASE, STACK_BASE
+from ..bpf.regions import CTX_BASE, STACK_BASE
 
 __all__ = ["PACKET_HEADROOM", "MAP_PTR_BASE", "ProgramInput", "ProgramOutput",
            "MachineState"]

@@ -20,7 +20,7 @@ silently accepting them is how subtle drop-in-replacement bugs appear.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ..bpf.encoder import decode_program
 from ..bpf.hooks import get_hook

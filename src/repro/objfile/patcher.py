@@ -24,8 +24,7 @@ from ..bpf.encoder import encode_program
 from ..bpf.instruction import Instruction
 from ..bpf.maps import MapEnvironment
 from ..bpf.program import BpfProgram
-from .format import BpfObjectFile, MapSymbol, ObjectFormatError, \
-    ProgramSection, Relocation
+from .format import BpfObjectFile, MapSymbol, ProgramSection, Relocation
 from .loader import PSEUDO_MAP_FD, _slot_of_logical
 
 __all__ = ["PatchError", "ObjectPatcher", "patch_object", "build_object"]

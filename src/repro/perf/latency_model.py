@@ -19,7 +19,7 @@ from typing import Dict, Iterable
 
 from ..bpf.helpers import HelperId
 from ..bpf.instruction import Instruction
-from ..bpf.opcodes import AluOp, InsnClass, JmpOp
+from ..bpf.opcodes import AluOp
 from ..bpf.program import BpfProgram
 
 __all__ = ["OpcodeLatencyModel", "DEFAULT_LATENCY_MODEL",

@@ -28,7 +28,7 @@ from ..bpf.helpers import HelperId
 from ..bpf.hooks import HookType
 from ..bpf.instruction import Instruction
 from ..bpf.maps import MapDef, MapEnvironment, MapType
-from ..bpf.opcodes import AluOp, MemSize
+from ..bpf.opcodes import MemSize
 from ..bpf.program import BpfProgram
 from ..engine import create_engine
 from ..interpreter import Interpreter, ProgramInput

@@ -18,7 +18,7 @@ readability in the symbolic executor.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 __all__ = [
     "Expr", "bv_const", "bv_var", "bool_const", "bool_var",

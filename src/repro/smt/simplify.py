@@ -15,10 +15,10 @@ from __future__ import annotations
 from typing import Dict, Iterable, Set, Union
 
 from .bitvec import (
-    Expr, bool_and, bool_const, bool_not, bool_or, bool_xor, bv_add, bv_and,
-    bv_ashr, bv_concat, bv_const, bv_eq, bv_extract, bv_ite, bv_lshr, bv_mul,
-    bv_not, bv_or, bv_shl, bv_sign_extend, bv_sle, bv_slt, bv_sub, bv_udiv,
-    bv_ule, bv_ult, bv_urem, bv_xor, bv_zero_extend,
+    Expr, bool_and, bool_not, bool_or, bool_xor, bv_add, bv_and, bv_ashr,
+    bv_concat, bv_eq, bv_extract, bv_ite, bv_lshr, bv_mul, bv_not, bv_or,
+    bv_shl, bv_sign_extend, bv_sle, bv_slt, bv_sub, bv_udiv, bv_ule, bv_ult,
+    bv_urem, bv_xor, bv_zero_extend,
 )
 
 __all__ = ["evaluate", "substitute", "collect_vars"]

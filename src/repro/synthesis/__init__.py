@@ -16,5 +16,8 @@ from .parallel import (
     ChainController, ChainWorkUnit, ChainWorkUnitResult, run_chain_generation,
 )
 from .search import SearchOptions, SearchResult, Synthesizer
+from .windows import (
+    SegmentWindow, WindowStats, WindowedScheduler, plan_windows, split_budget,
+)
 
 __all__ = [name for name in dir() if not name.startswith("_")]

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import List, Sequence
+from typing import Sequence
 
 from ..bpf.program import BpfProgram
 from ..interpreter import ProgramOutput

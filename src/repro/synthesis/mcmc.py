@@ -63,6 +63,11 @@ class ChainStatistics:
     #: escalations/skips/seconds per stage), snapshotted from the pipeline.
     verification: Dict[str, Dict[str, float]] = dataclasses.field(
         default_factory=dict)
+    #: Instruction span ``[window_start, window_end)`` this chain was
+    #: restricted to by the windowed scheduler; ``None`` for whole-program
+    #: chains.  Surfaced so per-window statistics survive into SearchResult.
+    window_start: Optional[int] = None
+    window_end: Optional[int] = None
 
 
 @dataclasses.dataclass
@@ -101,12 +106,20 @@ class MarkovChain:
                  lazy_safety: bool = True,
                  pipeline: Optional[VerificationPipeline] = None,
                  engine=None,
-                 analysis: Optional[str] = None):
+                 analysis: Optional[str] = None,
+                 proposal_region: Optional[tuple] = None,
+                 keep_nops: bool = False):
         source.validate()
         self.source = source
         self.settings = cost_settings or CostSettings()
         self.rng = random.Random(seed)
-        self.proposer = ProposalGenerator(source, self.rng, probabilities)
+        # ``proposal_region`` restricts every rewrite to one instruction span
+        # (windowed segment synthesis); ``keep_nops`` reports verified
+        # candidates at full padded length so the windowed scheduler can
+        # stitch them positionally before the final NOP compaction.
+        self.proposer = ProposalGenerator(source, self.rng, probabilities,
+                                          region=proposal_region)
+        self.keep_nops = keep_nops
         # One long-lived execution engine per chain, shared by the test
         # suite and the verification pipeline's replay stage so the current
         # program and its proposals are decoded once for both.  ``engine``
@@ -139,6 +152,8 @@ class MarkovChain:
         self.beta_anneal = beta_anneal
         self.lazy_safety = lazy_safety
         self.stats = ChainStatistics()
+        if proposal_region is not None:
+            self.stats.window_start, self.stats.window_end = proposal_region
         self.verified: List[VerifiedCandidate] = []
         #: Counterexamples this chain discovered itself (drained by the
         #: parallel controller to share with sibling chains).
@@ -306,8 +321,10 @@ class MarkovChain:
         # Cumulative wall clock: prior generations plus the current run().
         elapsed = self.stats.elapsed_seconds + (
             (time.perf_counter() - started) if started else 0.0)
+        reported = candidate if self.keep_nops else \
+            candidate.with_instructions(remove_nops(candidate.instructions))
         entry = VerifiedCandidate(
-            program=candidate.with_instructions(remove_nops(candidate.instructions)),
+            program=reported,
             perf_cost=perf,
             instruction_count=candidate.num_real_instructions,
             estimated_latency=self.latency_model.program_cost(candidate),

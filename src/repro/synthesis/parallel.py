@@ -98,10 +98,22 @@ class ChainController:
     """
 
     def __init__(self, source: BpfProgram, settings: List[ParameterSetting],
-                 options):
+                 options, proposal_region: Optional[Tuple[int, int]] = None,
+                 keep_nops: bool = False,
+                 collect_all_counterexamples: bool = False):
         self.source = source
         self.settings = settings
         self.options = options
+        #: Restrict every chain's proposals to one instruction span and keep
+        #: candidates NOP-padded at full length (windowed segment synthesis;
+        #: see :mod:`repro.synthesis.windows`).
+        self.proposal_region = proposal_region
+        self.keep_nops = keep_nops
+        #: Collect discovered counterexamples into the pool even when they
+        #: can no longer be delivered to a sibling chain (final generation,
+        #: single chain) — the windowed scheduler harvests the pool and
+        #: replays it into the *next* window's controller.
+        self.collect_all_counterexamples = collect_all_counterexamples
         self.executor_kind = resolve_executor_kind(
             options.executor, options.num_workers)
         self.shared_cache = EquivalenceCache()
@@ -119,6 +131,48 @@ class ChainController:
     @property
     def counterexamples_shared(self) -> int:
         return len(self._pool)
+
+    # ------------------------------------------------------------------ #
+    def pool_entries(self) -> List[ProgramInput]:
+        """Every distinct counterexample in the pool, in discovery order."""
+        return [test for _, test in self._pool]
+
+    def preseed_counterexamples(self, tests: List[ProgramInput]) -> int:
+        """Seed the pool before :meth:`run` (cross-window reuse).
+
+        Seeded tests carry origin ``-1``, so the delta path delivers them
+        to *every* chain with its first generation.  Distinguishing inputs
+        are valid for any window's search base (all bases are equivalent to
+        the source), so a counterexample found by one window prunes
+        non-equivalent candidates in every later window at the test stage,
+        with no solver involvement.  Returns the number adopted.
+        """
+        inserted = 0
+        for test in tests:
+            key = test.freeze_key()
+            if key in self._pool_keys:
+                continue
+            self._pool_keys.add(key)
+            self._pool.append((-1, test))
+            inserted += 1
+        return inserted
+
+    def preseed_cache(self, entries: Dict[Tuple, EquivalenceResult]) -> int:
+        """Seed the shared cache before :meth:`run` (cross-window reuse).
+
+        The windowed scheduler carries one master cache across its
+        per-window searches; every search base is formally equivalent to the
+        original source, so "equivalent/non-equivalent to the base" is the
+        same predicate for every window and the entries transfer soundly.
+        Entries are appended to the delta log, so every chain receives them
+        with its first generation.  Returns the number of entries adopted.
+        """
+        inserted = 0
+        for key, value in entries.items():
+            if self.shared_cache.seed({key: value}, foreign=True):
+                self._cache_log.append((key, value))
+                inserted += 1
+        return inserted
 
     # ------------------------------------------------------------------ #
     def run(self) -> List[ChainResult]:
@@ -186,7 +240,9 @@ class ChainController:
             test_suite=suite,
             equivalence_options=options.equivalence,
             engine=engine,
-            analysis=getattr(options, "analysis", None))
+            analysis=getattr(options, "analysis", None),
+            proposal_region=self.proposal_region,
+            keep_nops=self.keep_nops)
 
     def _generation_schedule(self, iterations: int) -> List[int]:
         interval = self.options.sync_interval
@@ -238,9 +294,11 @@ class ChainController:
                 if self.shared_cache.seed({key: value}, foreign=False):
                     self._cache_log.append((key, value))
         discovered = chain.drain_discovered_counterexamples()
-        if not collect_counterexamples \
-                or not self.options.share_counterexamples \
-                or len(self._pool_watermarks) < 2:
+        if not self.options.share_counterexamples:
+            return
+        if not self.collect_all_counterexamples and (
+                not collect_counterexamples
+                or len(self._pool_watermarks) < 2):
             return
         for test in discovered:
             key = test.freeze_key()

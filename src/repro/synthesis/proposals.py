@@ -26,11 +26,11 @@ from __future__ import annotations
 
 import dataclasses
 import random
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from ..bpf import builders
 from ..bpf.instruction import Instruction, NOP
-from ..bpf.opcodes import AluOp, InsnClass, JmpOp, MemSize, SrcOperand
+from ..bpf.opcodes import AluOp, JmpOp, MemSize
 from ..bpf.program import BpfProgram
 
 __all__ = ["RewriteRuleProbabilities", "OperandPools", "ProposalGenerator"]
@@ -66,15 +66,24 @@ _MEM_SIZES = [MemSize.B, MemSize.H, MemSize.W, MemSize.DW]
 
 
 class OperandPools:
-    """Operand values harvested from the source program."""
+    """Operand values harvested from the source program.
 
-    def __init__(self, source: BpfProgram):
+    With ``region=(start, end)`` only the instructions inside that span are
+    harvested — the *window-local* pools of the windowed scheduler
+    (:mod:`repro.synthesis.windows`), which keep each window's random walk
+    inside the value neighbourhood of the segment it is rewriting.
+    """
+
+    def __init__(self, source: BpfProgram,
+                 region: Optional[Tuple[int, int]] = None):
         registers = set()
         immediates = set(_COMMON_IMMEDIATES)
         offsets = {0, -4, -8}
         helpers = set()
         map_fds = set()
-        for insn in source.instructions:
+        instructions = source.instructions if region is None else \
+            source.instructions[region[0]:region[1]]
+        for insn in instructions:
             registers |= set(insn.regs_read()) | set(insn.regs_written())
             if insn.is_alu or insn.is_jump:
                 immediates.add(insn.imm)
@@ -100,11 +109,22 @@ class ProposalGenerator:
 
     def __init__(self, source: BpfProgram, rng: random.Random,
                  probabilities: RewriteRuleProbabilities | None = None,
-                 contiguous_k: int = 2):
+                 contiguous_k: int = 2,
+                 region: Optional[Tuple[int, int]] = None):
+        if region is not None:
+            start, end = region
+            if not 0 <= start < end <= len(source.instructions):
+                raise ValueError(f"proposal region {region} outside the "
+                                 f"program's {len(source.instructions)} "
+                                 "instructions")
         self.source = source
         self.rng = rng
         self.probabilities = probabilities or RewriteRuleProbabilities()
-        self.pools = OperandPools(source)
+        #: Restrict every rewrite to ``[start, end)`` and harvest operand
+        #: pools from that span only (windowed segment synthesis).  ``None``
+        #: keeps the original whole-program behaviour.
+        self.region = region
+        self.pools = OperandPools(source, region=region)
         self.contiguous_k = contiguous_k
         self._rules = [
             self._replace_instruction,
@@ -130,7 +150,10 @@ class ProposalGenerator:
     # Rule implementations
     # ------------------------------------------------------------------ #
     def _choose_index(self, candidate: List[Instruction]) -> int:
-        return self.rng.randrange(len(candidate))
+        if self.region is None:
+            return self.rng.randrange(len(candidate))
+        start, end = self.region
+        return self.rng.randrange(start, min(end, len(candidate)))
 
     def _replace_instruction(self, candidate: List[Instruction]) -> None:
         index = self._choose_index(candidate)
@@ -142,8 +165,9 @@ class ProposalGenerator:
 
     def _replace_contiguous(self, candidate: List[Instruction]) -> None:
         index = self._choose_index(candidate)
-        count = min(self.rng.randint(1, self.contiguous_k),
-                    len(candidate) - index)
+        limit = len(candidate) if self.region is None \
+            else min(self.region[1], len(candidate))
+        count = min(self.rng.randint(1, self.contiguous_k), limit - index)
         for position in range(index, index + count):
             candidate[position] = self._random_instruction(position, len(candidate))
 
@@ -208,7 +232,9 @@ class ProposalGenerator:
         candidate[index] = insn.with_fields(opcode=(insn.opcode & ~0x18) | size)
 
     def _pick_memory_instruction(self, candidate: List[Instruction]):
-        indices = [i for i, insn in enumerate(candidate) if insn.is_memory]
+        start, end = (0, len(candidate)) if self.region is None else \
+            (self.region[0], min(self.region[1], len(candidate)))
+        indices = [i for i in range(start, end) if candidate[i].is_memory]
         if not indices:
             return None
         return self.rng.choice(indices)

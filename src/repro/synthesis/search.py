@@ -71,6 +71,17 @@ class SearchOptions:
     #: filter) or ``legacy`` (the original two-pass analysis) — the
     #: ablation knob behind the CLI's ``--analysis``.
     analysis: str = "fused"
+    #: Windowed segment synthesis (the CLI's ``--windowed``): slice the
+    #: source into overlapping windows (:mod:`repro.synthesis.windows`), run
+    #: the chains per window with window-local proposals, stitch the best
+    #: rewrites and re-verify the stitched program through the full tiered
+    #: pipeline.  Programs no longer than ``window_size`` fall back to the
+    #: whole-program search.
+    window_mode: bool = False
+    #: Instructions per candidate window.
+    window_size: int = 24
+    #: Instructions shared by two consecutive windows.
+    window_overlap: int = 8
 
 
 @dataclasses.dataclass
@@ -98,6 +109,15 @@ class SearchResult:
     #: plus a ``_pipeline`` bucket with ``queries``/``inconclusive``.
     verification_stats: Dict[str, Dict[str, float]] = dataclasses.field(
         default_factory=dict)
+    #: Per-window scheduling statistics (windowed runs only, in window
+    #: order); see :class:`repro.synthesis.windows.WindowStats`.
+    window_stats: List = dataclasses.field(default_factory=list)
+    #: Whether the stitched program was re-proven equivalent to the source
+    #: by the full tiered pipeline (``None`` for whole-program runs and for
+    #: windowed runs whose stitch equals the source).  A verified stitch can
+    #: still be withheld by the kernel-checker filter, in which case
+    #: ``best`` is None and ``rejected_by_kernel_checker`` records it.
+    stitch_verified: Optional[bool] = None
 
     @property
     def best_program(self) -> BpfProgram:
@@ -105,11 +125,18 @@ class SearchResult:
 
     @property
     def compression(self) -> float:
-        """Fractional reduction in instruction count vs. the source program."""
+        """Fractional reduction in instruction count vs. the source program.
+
+        Robust to degenerate runs: a source with no real instructions (all
+        NOPs) or a best candidate no smaller than the source yields ``0.0``
+        instead of dividing by zero / going negative.
+        """
         if not self.best:
             return 0.0
         original = self.source.num_real_instructions
-        return (original - self.best.instruction_count) / original
+        if original <= 0:
+            return 0.0
+        return max(original - self.best.instruction_count, 0) / original
 
     @property
     def per_chain_seconds(self) -> List[float]:
@@ -133,6 +160,13 @@ class Synthesizer:
                  settings: Optional[List[ParameterSetting]] = None
                  ) -> SearchResult:
         options = self.options
+        if options.window_mode \
+                and len(source.instructions) > options.window_size:
+            from .windows import WindowedScheduler
+
+            scheduler = WindowedScheduler(options,
+                                          kernel_checker=self.kernel_checker)
+            return scheduler.optimize(source, settings=settings)
         started = time.perf_counter()
         if settings is None:
             settings = all_parameter_settings(options.goal)[

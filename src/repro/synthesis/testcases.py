@@ -10,9 +10,9 @@ or the safety checker.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
-from ..bpf.hooks import CtxFieldKind, HookType
+from ..bpf.hooks import CtxFieldKind
 from ..bpf.program import BpfProgram
 from ..engine import create_engine
 from ..interpreter import Interpreter, ProgramInput, ProgramOutput

@@ -14,7 +14,6 @@ semantics the interpreter itself executes
   abstract result, for every ALU opcode the analyzer models.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.analysis.domains import AbsVal, scalar_alu_transfer

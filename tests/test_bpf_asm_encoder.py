@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.bpf import (
-    AsmError, EncodingError, HookType, JA, JEQ_IMM, LD_MAP_FD, LDDW, MOV64_IMM,
+    AsmError, EncodingError, JA, JEQ_IMM, LD_MAP_FD, LDDW, MOV64_IMM,
     assemble, decode_program, disassemble, encode_program,
 )
 from repro.bpf.asm import assemble_line, format_instruction

@@ -174,7 +174,6 @@ class TestTypeAnalysis:
         assert analysis.register_at(3, 3).const == 20
 
     def test_map_pointer_and_lookup_result(self):
-        from repro.bpf import LD_MAP_FD
         insns = assemble("""
         mov64 r2, r10
         add64 r2, -4

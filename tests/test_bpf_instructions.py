@@ -3,8 +3,8 @@
 import pytest
 
 from repro.bpf import (
-    ADD64_IMM, ADD64_REG, AluOp, CALL_HELPER, EXIT_INSN, HelperId, Instruction,
-    InsnClass, JA, JEQ_IMM, JmpOp, LD_MAP_FD, LDDW, LDX_MEM, MemSize, MOV64_IMM,
+    ADD64_IMM, ADD64_REG, AluOp, CALL_HELPER, EXIT_INSN, HelperId, InsnClass,
+    JA, JEQ_IMM, JmpOp, LD_MAP_FD, LDDW, LDX_MEM, MemSize, MOV64_IMM,
     MOV64_REG, NOP, NOP_INSN, ST_MEM, STX_MEM, STX_XADD,
 )
 

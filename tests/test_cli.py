@@ -11,8 +11,9 @@ class TestCorpusCommand:
         out = capsys.readouterr().out
         assert "xdp_pktcntr" in out
         assert "xdp-balancer" in out
-        # All 19 corpus programs are listed.
-        assert len([line for line in out.splitlines() if line.strip()]) == 19
+        assert "xdp_stats_ladder" in out
+        # All 22 corpus programs are listed (19 paper + 3 long).
+        assert len([line for line in out.splitlines() if line.strip()]) == 22
 
 
 class TestCheckCommand:

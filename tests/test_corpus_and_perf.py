@@ -4,8 +4,10 @@ import pytest
 
 from repro.corpus import all_benchmarks, benchmark_names, get_benchmark
 from repro.interpreter import Interpreter
-from repro.perf import (BenchmarkRig, DEFAULT_LATENCY_MODEL, OpcodeLatencyModel,
-                        estimate_program_latency, instruction_cost)
+from repro.perf import (
+    BenchmarkRig, OpcodeLatencyModel, estimate_program_latency,
+    instruction_cost,
+)
 from repro.safety import SafetyChecker
 from repro.synthesis import TestCaseGenerator as CaseGenerator
 from repro.verifier import KernelChecker
@@ -13,9 +15,20 @@ from repro.bpf import CALL_HELPER, HelperId, MOV64_IMM, NOP
 
 
 class TestCorpus:
-    def test_corpus_has_19_benchmarks(self):
-        assert len(benchmark_names()) == 19
-        assert {b.paper_index for b in all_benchmarks()} == set(range(1, 20))
+    def test_corpus_has_paper_and_long_benchmarks(self):
+        # 1-19 reproduce the paper's Table 1; 20+ are the long
+        # (100+ instruction) length-scaling programs for windowed synthesis.
+        assert len(benchmark_names()) == 22
+        assert {b.paper_index for b in all_benchmarks()} == set(range(1, 23))
+
+    def test_long_benchmarks_are_long(self):
+        from repro.corpus.programs import LONG_BENCHMARKS
+
+        assert len(LONG_BENCHMARKS) >= 3
+        for name in LONG_BENCHMARKS:
+            program = get_benchmark(name).program()
+            assert len(program.instructions) >= 100, name
+            assert get_benchmark(name).paper_index >= 20
 
     def test_origins_match_paper(self):
         origins = {b.origin for b in all_benchmarks()}

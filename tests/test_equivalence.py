@@ -5,8 +5,8 @@ import pytest
 from repro.bpf import BpfProgram, HookType, NOP, assemble, get_hook
 from repro.bpf.maps import MapDef, MapEnvironment, MapType
 from repro.equivalence import (
-    EquivalenceCache, EquivalenceChecker, EquivalenceOptions, Window,
-    WindowEquivalenceChecker, select_windows,
+    EquivalenceCache, EquivalenceChecker, Window, WindowEquivalenceChecker,
+    select_windows,
 )
 from repro.interpreter import Interpreter
 

@@ -10,7 +10,7 @@ handling of programs whose canonical forms collide.
 
 import pytest
 
-from repro.bpf import BpfProgram, HookType, NOP, assemble, get_hook
+from repro.bpf import BpfProgram, HookType, assemble, get_hook
 from repro.bpf.maps import MapEnvironment
 from repro.equivalence import EquivalenceCache, EquivalenceResult
 

@@ -10,7 +10,6 @@ the two must agree.
 
 import random
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.bpf import BpfProgram, HookType, get_hook, builders as b

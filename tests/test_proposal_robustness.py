@@ -14,9 +14,7 @@ import pytest
 
 from repro.bpf import builders
 from repro.bpf.cfg import CfgError, build_cfg
-from repro.bpf.hooks import HookType
 from repro.bpf.instruction import NOP
-from repro.bpf.opcodes import JmpOp
 from repro.bpf.program import BpfProgram
 from repro.corpus import get_benchmark
 from repro.equivalence import EquivalenceCache

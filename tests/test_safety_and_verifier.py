@@ -1,6 +1,5 @@
 """Tests for the safety checker (§6) and the kernel-checker model."""
 
-import pytest
 
 from repro.bpf import BpfProgram, HookType, assemble, get_hook
 from repro.bpf.maps import MapDef, MapEnvironment, MapType

@@ -5,10 +5,9 @@ from hypothesis import given, settings, strategies as st
 
 from repro.smt import (
     FALSE, TRUE, bool_and, bool_implies, bool_not, bool_or, bv_add, bv_and,
-    bv_concat, bv_const, bv_eq, bv_extract, bv_ite, bv_lshr, bv_mul, bv_ne,
-    bv_neg, bv_not, bv_or, bv_shl, bv_sign_extend, bv_slt, bv_sub, bv_udiv,
-    bv_ule, bv_ult, bv_urem, bv_var, bv_xor, bv_zero_extend, collect_vars,
-    evaluate, substitute,
+    bv_concat, bv_const, bv_eq, bv_extract, bv_ite, bv_lshr, bv_mul, bv_neg,
+    bv_not, bv_or, bv_shl, bv_slt, bv_sub, bv_udiv, bv_ule, bv_ult, bv_urem,
+    bv_var, bv_xor, bv_zero_extend, collect_vars, evaluate, substitute,
 )
 
 X = bv_var("x", 64)

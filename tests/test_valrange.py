@@ -8,7 +8,7 @@ from repro.bpf import builders
 from repro.bpf.hooks import HookType
 from repro.bpf.opcodes import JmpOp, MemSize
 from repro.bpf.program import BpfProgram
-from repro.bpf.valrange import RangeAnalysis, ValueInterval, analyze_ranges
+from repro.bpf.valrange import ValueInterval, analyze_ranges
 from repro.corpus import get_benchmark
 from repro.interpreter import ProgramInput, run_program
 
