@@ -83,12 +83,26 @@ class MapState:
         #: reset (update() or a handed-out value_buffer()); lets reset()
         #: skip re-zeroing untouched pre-populated entries.
         self._dirty: set = set()
+        #: Pristine snapshot for dirty-aware snapshotting (array-like only):
+        #: every non-dirty entry is zero by invariant, so a snapshot is this
+        #: dict plus the dirty entries re-read.  The zero value object is
+        #: immutable and safely shared across keys and snapshots.
+        self._zero_snapshot: Dict[bytes, bytes] = {}
+        #: Slot-indexed key/buffer tables (array-like only).  Valid forever:
+        #: the key set is fixed at construction and every mutation path
+        #: (update, restore_image, reset) writes the buffers in place.
+        self._slot_keys: list = []
+        self._slot_buffers: list = []
         if definition.map_type in self._ARRAY_LIKE:
             # Array-like maps are pre-populated with zeroed values, matching
             # kernel behaviour: lookups of any index < max_entries succeed.
             for index in range(definition.max_entries):
                 key = index.to_bytes(definition.key_size, "little")
                 self._allocate(key)
+            self._zero_snapshot = dict.fromkeys(self._entries,
+                                                self._zero_value)
+            self._slot_keys = list(self._entries)
+            self._slot_buffers = list(self._entries.values())
 
     def reset(self) -> None:
         """Restore the pristine post-construction state, reusing buffers.
@@ -115,6 +129,56 @@ class MapState:
         self._dirty.clear()
 
     # ------------------------------------------------------------------ #
+    # Reset images: O(touched-entries) state capture/rewind for the
+    # engine's batched replay (reset + test.map_contents replayed once,
+    # then restored per run instead of re-applied).
+    # ------------------------------------------------------------------ #
+    def export_image(self) -> tuple:
+        """Capture the current contents as an immutable restore image.
+
+        For pre-populated (array-like) maps only the dirty entries are
+        recorded — everything else is pristine zeroes by invariant.  For
+        hash-like maps the full entry dict is recorded in insertion order
+        so that :meth:`restore_image` replays the exact address-allocation
+        sequence of the captured state.
+        """
+        if self.definition.map_type in self._ARRAY_LIKE:
+            return (
+                {key: bytes(self._entries[key]) for key in self._dirty},
+                None, self._next_slot, frozenset(self._dirty))
+        return ({key: bytes(value) for key, value in self._entries.items()},
+                dict(self._addresses), self._next_slot,
+                frozenset(self._dirty))
+
+    def restore_image(self, image: tuple) -> None:
+        """Rewind to a state captured by :meth:`export_image`.
+
+        Observably equivalent to ``reset()`` followed by replaying the
+        updates that produced the image, but touches only entries that are
+        dirty now or dirty in the image.
+        """
+        entries, addresses, next_slot, dirty = image
+        if self.definition.map_type in self._ARRAY_LIKE:
+            if not self._dirty and not dirty:
+                return      # pristine now, pristine in the image: no-op
+            zero = self._zero_value
+            for key in self._dirty:
+                if key not in entries:
+                    self._entries[key][:] = zero
+            own = self._entries
+            for key, value in entries.items():
+                own[key][:] = value
+            self._dirty = set(dirty)
+            return
+        self._entries.clear()
+        self._addresses.clear()
+        for key, value in entries.items():
+            self._entries[key] = bytearray(value)
+        self._addresses.update(addresses)
+        self._next_slot = next_slot
+        self._dirty = set(dirty)
+
+    # ------------------------------------------------------------------ #
     def _allocate(self, key: bytes) -> int:
         if key not in self._entries:
             self._entries[key] = bytearray(self.definition.value_size)
@@ -135,9 +199,9 @@ class MapState:
     def lookup(self, key: bytes) -> int:
         """Return the flat address of the value for ``key``, or 0 (NULL)."""
         key = self._check_key(key)
-        if key not in self._entries:
-            return 0
-        return self._addresses[key]
+        # _entries and _addresses always hold the same keys (_allocate and
+        # delete update both), so one probe answers both questions.
+        return self._addresses.get(key, 0)
 
     def update(self, key: bytes, value: bytes) -> int:
         """Insert or overwrite ``key`` with ``value``; returns 0 on success."""
@@ -171,28 +235,96 @@ class MapState:
     # Value memory access, used by the interpreter's load/store routing
     # ------------------------------------------------------------------ #
     def owns_address(self, address: int) -> bool:
+        # Allocation is sequential from _base, so everything this map has
+        # ever handed out lives in [_base, _base + next_slot * value_size);
+        # outside that range the per-entry scan cannot match.
+        if not self._base <= address < (
+                self._base + self._next_slot * self.definition.value_size):
+            return False
+        if self.definition.map_type in self._ARRAY_LIKE:
+            # Pre-populated and delete-proof: every slot in range is live.
+            return True
         for key, base in self._addresses.items():
             if base <= address < base + self.definition.value_size:
                 return True
         return False
 
-    def value_buffer(self, address: int) -> tuple[bytearray, int]:
+    def value_access(self, address: int,
+                     mark_dirty: bool = True) -> Optional[tuple]:
+        """``(buffer, offset)`` if ``address`` falls inside a live value of
+        this map, else ``None`` — :meth:`owns_address` and
+        :meth:`value_buffer` fused into a single range computation for the
+        engine's load/store routing hot path.
+        """
+        offset = address - self._base
+        definition = self.definition
+        value_size = definition.value_size
+        if 0 <= offset < self._next_slot * value_size:
+            if definition.map_type in self._ARRAY_LIKE:
+                slot = offset // value_size
+                if mark_dirty:
+                    self._dirty.add(self._slot_keys[slot])
+                return self._slot_buffers[slot], offset - slot * value_size
+            for key, base in self._addresses.items():
+                if base <= address < base + value_size:
+                    if mark_dirty:
+                        self._dirty.add(key)
+                    return self._entries[key], address - base
+        return None
+
+    def value_buffer(self, address: int,
+                     mark_dirty: bool = True) -> tuple[bytearray, int]:
         """Return ``(buffer, offset)`` for a flat address inside a value.
 
-        The returned buffer is mutable, so the owning key is conservatively
-        marked dirty (reset() re-zeroes only dirty pre-populated entries).
+        The returned buffer is mutable; write paths keep ``mark_dirty``
+        (reset() re-zeroes only dirty pre-populated entries, and the
+        dirty-aware snapshot/image paths rely on non-dirty entries being
+        pristine).  Read paths pass ``mark_dirty=False`` so read-only maps
+        stay pristine across the batched-replay hot loop.
         """
+        definition = self.definition
+        if definition.map_type in self._ARRAY_LIKE:
+            offset = address - self._base
+            value_size = definition.value_size
+            if 0 <= offset < self._next_slot * value_size:
+                slot = offset // value_size
+                if mark_dirty:
+                    self._dirty.add(self._slot_keys[slot])
+                return self._slot_buffers[slot], offset - slot * value_size
+            raise KeyError(
+                f"address {address:#x} not inside map {definition.name}")
         for key, base in self._addresses.items():
-            if base <= address < base + self.definition.value_size:
-                self._dirty.add(key)
+            if base <= address < base + definition.value_size:
+                if mark_dirty:
+                    self._dirty.add(key)
                 return self._entries[key], address - base
-        raise KeyError(f"address {address:#x} not inside map {self.definition.name}")
+        raise KeyError(f"address {address:#x} not inside map {definition.name}")
 
     # ------------------------------------------------------------------ #
     def items(self) -> Iterable[tuple[bytes, bytes]]:
         return ((k, bytes(v)) for k, v in self._entries.items())
 
     def snapshot(self) -> Dict[bytes, bytes]:
+        return {k: bytes(v) for k, v in self._entries.items()}
+
+    def snapshot_dirty(self) -> Dict[bytes, bytes]:
+        """A snapshot equal to :meth:`snapshot` that skips pristine entries.
+
+        Array-like maps are mostly zero-filled slots a program never
+        touches; copying every one per execution dominates short-program
+        output construction.  Non-dirty entries are zero by invariant, so
+        the pristine base dict plus the dirty entries is the same mapping.
+        A fully pristine map returns the shared base dict itself — callers
+        (the fused engine's output construction) treat snapshots as
+        immutable, which every in-tree consumer already does.
+        """
+        if self.definition.map_type in self._ARRAY_LIKE:
+            if not self._dirty:
+                return self._zero_snapshot
+            snap = dict(self._zero_snapshot)
+            for key in self._dirty:
+                snap[key] = bytes(self._entries[key])
+            return snap
         return {k: bytes(v) for k, v in self._entries.items()}
 
     def __len__(self) -> int:

@@ -3,7 +3,8 @@
 Examples::
 
     k2 optimize program.s --hook xdp --iterations 2000
-    k2 optimize --benchmark xdp_pktcntr --engine legacy   # engine ablation
+    k2 optimize --benchmark xdp_pktcntr --engine decoded  # engine ablation
+    k2 optimize --benchmark sys_enter_open --portfolio    # portfolio solver
     k2 check program.s --hook xdp
     k2 corpus --list
 """
@@ -16,6 +17,7 @@ import sys
 from .bpf import BpfProgram, HookType, assemble, get_hook
 from .bpf.maps import MapEnvironment
 from .core import K2Compiler, OptimizationGoal
+from .engine import DEFAULT_ENGINE_KIND, ENGINE_KINDS
 from .equivalence import EquivalenceOptions
 from .corpus import all_benchmarks, get_benchmark
 from .safety import SafetyChecker
@@ -45,6 +47,7 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
                           sync_interval=args.sync_interval,
                           verify_stages=args.verify_pipeline,
                           engine=args.engine, analysis=args.analysis,
+                          portfolio=args.portfolio,
                           windowed=args.windowed,
                           window_size=args.window_size,
                           window_overlap=args.window_overlap)
@@ -121,14 +124,24 @@ def main(argv=None) -> int:
                                "(equivalence-cache entries and "
                                "counterexamples); omit to run each chain to "
                                "completion without mid-run sharing")
-    optimize.add_argument("--engine", default="decoded",
-                          choices=["decoded", "legacy"],
-                          help="candidate execution engine: 'decoded' runs "
-                               "pre-decoded micro-ops with a decode cache "
-                               "and reusable machine state (fast), 'legacy' "
-                               "is the reference per-step interpreter kept "
-                               "for ablation; both produce bit-identical "
-                               "results (default: %(default)s)")
+    optimize.add_argument("--engine", default=DEFAULT_ENGINE_KIND,
+                          choices=list(ENGINE_KINDS),
+                          help="candidate execution engine: 'fused' compiles "
+                               "superinstruction traces per basic-block "
+                               "region (fastest), 'decoded' runs pre-decoded "
+                               "micro-ops with a decode cache and reusable "
+                               "machine state, 'legacy' is the reference "
+                               "per-step interpreter kept for ablation; all "
+                               "three produce bit-identical results "
+                               "(default: %(default)s)")
+    optimize.add_argument("--portfolio", action="store_true",
+                          help="portfolio equivalence front end: run the "
+                               "incremental solver session and a fresh "
+                               "solver per query on a deterministic "
+                               "budget-doubling dovetail, first verdict "
+                               "wins; bounds the incremental session's "
+                               "worst case (Table 4) without giving up its "
+                               "common-case speedups")
     optimize.add_argument("--analysis", default="fused",
                           choices=["fused", "legacy"],
                           help="static safety analysis: 'fused' runs the "

@@ -141,17 +141,18 @@ class K2Compiler:
                  sync_interval: Optional[int] = None,
                  verify_stages: Optional[str] = None,
                  equivalence: Optional[EquivalenceOptions] = None,
-                 engine: str = "decoded",
+                 engine: str = "fused",
                  analysis: str = "fused",
+                 portfolio: bool = False,
                  windowed: bool = False,
                  window_size: int = 24,
                  window_overlap: int = 8,
                  options: Optional[SearchOptions] = None):
         if options is not None and (verify_stages is not None
-                                    or equivalence is not None):
+                                    or equivalence is not None or portfolio):
             raise ValueError("an explicit SearchOptions already carries its "
                              "EquivalenceOptions; do not combine options with "
-                             "verify_stages/equivalence")
+                             "verify_stages/equivalence/portfolio")
         if options is not None and (windowed or window_size != 24
                                     or window_overlap != 8):
             raise ValueError("an explicit SearchOptions already carries its "
@@ -165,6 +166,8 @@ class K2Compiler:
             elif verify_stages is not None:
                 raise ValueError(
                     "pass either verify_stages or equivalence, not both")
+            if portfolio:
+                equivalence.portfolio = True
             options = SearchOptions(
                 goal=goal,
                 iterations_per_chain=iterations_per_chain,

@@ -1,27 +1,35 @@
 """Decode-once batched execution engine for the synthesis hot loop.
 
-The package splits execution into three layers:
+The package splits execution into four layers:
 
 * :mod:`repro.engine.decode` — per-instruction micro-op compilation with an
   instruction memo and an LRU whole-program decode cache;
+* :mod:`repro.engine.fuse` — superinstruction fusion: each basic block
+  compiled into one exec'd callable, behind the same cache layers plus a
+  per-block memo;
 * :mod:`repro.engine.machine` — machine state allocated once and rewound in
-  place between test cases;
-* :mod:`repro.engine.engine` — the :class:`ExecutionEngine` run loop, the
-  batched ``run_batch`` API and the :func:`create_engine` factory behind the
-  ``--engine legacy|decoded`` ablation knob.
+  place between test cases, with per-test reset images backing the batched
+  replay fast path;
+* :mod:`repro.engine.engine` — the :class:`ExecutionEngine` /
+  :class:`FusedEngine` run loops, the batched ``run_batch`` API and the
+  :func:`create_engine` factory behind the ``--engine
+  fused|decoded|legacy`` ablation knob.
 
-Outputs are bit-identical to :class:`repro.interpreter.Interpreter`; the
-engine only changes *when* dispatch and allocation work happens.
+Outputs are bit-identical to :class:`repro.interpreter.Interpreter` across
+all engine kinds; the engines only change *when* dispatch and allocation
+work happens.
 """
 
 from .decode import DecodedProgram, MicroOp, ProgramDecoder, compile_instruction
 from .engine import (
-    DEFAULT_ENGINE_KIND, ENGINE_KINDS, ExecutionEngine, create_engine,
+    DEFAULT_ENGINE_KIND, ENGINE_KINDS, ExecutionEngine, FusedEngine,
+    create_engine,
 )
+from .fuse import FusedDecoder, FusedProgram
 from .machine import ResettableMachine
 
 __all__ = [
     "DecodedProgram", "MicroOp", "ProgramDecoder", "compile_instruction",
-    "DEFAULT_ENGINE_KIND", "ENGINE_KINDS", "ExecutionEngine", "create_engine",
-    "ResettableMachine",
+    "DEFAULT_ENGINE_KIND", "ENGINE_KINDS", "ExecutionEngine", "FusedEngine",
+    "create_engine", "FusedDecoder", "FusedProgram", "ResettableMachine",
 ]

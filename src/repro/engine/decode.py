@@ -73,8 +73,14 @@ _MAX_INSN_MEMO = 1 << 16
 # --------------------------------------------------------------------------- #
 # Memory access (mirrors Interpreter._resolve and friends exactly)
 # --------------------------------------------------------------------------- #
-def resolve_address(machine, address: int, width: int, pc: int):
-    """Route a flat address to ``(buffer, offset, region)`` with bounds checks."""
+def resolve_address(machine, address: int, width: int, pc: int,
+                    write: bool = True):
+    """Route a flat address to ``(buffer, offset, region)`` with bounds checks.
+
+    ``write`` is forwarded to :meth:`MapState.value_buffer` as the dirty
+    marker; read paths pass ``False`` so read-only maps stay pristine for
+    the dirty-aware snapshot/reset-image fast paths.
+    """
     if address == 0:
         raise NullPointerDereference("NULL pointer dereference", pc)
     region = region_for_address(address)
@@ -98,8 +104,9 @@ def resolve_address(machine, address: int, width: int, pc: int):
         return machine.ctx, offset, region
     if region is MemRegion.MAP_VALUE:
         for map_state in machine.maps.values():
-            if map_state.owns_address(address):
-                buffer, offset = map_state.value_buffer(address)
+            access = map_state.value_access(address, write)
+            if access is not None:
+                buffer, offset = access
                 if offset + width > map_state.definition.value_size:
                     raise OutOfBoundsAccess(
                         f"map value access at {offset} width {width}", pc)
@@ -116,7 +123,13 @@ def _read_reg(machine, reg: int, pc: int, strict: bool) -> int:
 
 
 def _read_mem_bytes(machine, address: int, width: int, pc: int) -> bytes:
-    buffer, offset, _ = resolve_address(machine, address, width, pc)
+    # Stack fast path: helper key/value arguments almost always live on the
+    # stack, and an in-bounds stack read can neither fault nor need routing
+    # (negative/foreign offsets fall through to the full resolver).
+    offset = address - STACK_BASE
+    if 0 <= offset <= STACK_SIZE - width:
+        return bytes(machine.stack[offset:offset + width])
+    buffer, offset, _ = resolve_address(machine, address, width, pc, False)
     return bytes(buffer[offset:offset + width])
 
 
@@ -125,15 +138,18 @@ def _write_mem_bytes(machine, address: int, data: bytes, pc: int) -> None:
     buffer[offset:offset + len(data)] = data
     if region is MemRegion.STACK:
         machine.stack_initialized[offset:offset + len(data)] = b"\x01" * len(data)
+    elif region is MemRegion.PACKET:
+        # Invalidates the fused runner's image-cached packet output.
+        machine.packet_dirty = True
 
 
 def _map_from_reg(machine, reg: int, pc: int, strict: bool):
     value = _read_reg(machine, reg, pc, strict)
-    fd = value - MAP_PTR_BASE
-    if fd not in machine.maps:
+    state = machine.maps.get(value - MAP_PTR_BASE)
+    if state is None:
         raise InvalidHelperArgument(
             f"r{reg} does not hold a valid map reference", pc)
-    return machine.maps[fd]
+    return state
 
 
 # --------------------------------------------------------------------------- #
@@ -439,7 +455,8 @@ def _compile_load(insn: Instruction, strict: bool) -> MicroOp:
         if strict and not initialized[src]:
             raise UninitializedRead(f"read of uninitialized r{src}", pc)
         address = (machine.regs[src] + off) & _U64
-        buffer, offset, region = resolve_address(machine, address, width, pc)
+        buffer, offset, region = resolve_address(machine, address, width, pc,
+                                                  False)
         if (region is MemRegion.STACK and strict
                 and 0 in machine.stack_initialized[offset:offset + width]):
             raise UninitializedRead(

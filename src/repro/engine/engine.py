@@ -34,16 +34,17 @@ from ..interpreter.errors import (
     InvalidJumpTarget,
 )
 from ..interpreter.interpreter import DEFAULT_STEP_LIMIT, Interpreter
-from ..interpreter.state import ProgramInput, ProgramOutput
+from ..interpreter.state import PACKET_HEADROOM, ProgramInput, ProgramOutput
 from .decode import DecodedProgram, ProgramDecoder
+from .fuse import FusedDecoder, FusedProgram
 from .machine import ResettableMachine
 
-__all__ = ["ExecutionEngine", "create_engine", "ENGINE_KINDS",
+__all__ = ["ExecutionEngine", "FusedEngine", "create_engine", "ENGINE_KINDS",
            "DEFAULT_ENGINE_KIND"]
 
 #: Engine kinds accepted by :func:`create_engine` and the CLI ``--engine``.
-ENGINE_KINDS = ("decoded", "legacy")
-DEFAULT_ENGINE_KIND = "decoded"
+ENGINE_KINDS = ("fused", "decoded", "legacy")
+DEFAULT_ENGINE_KIND = "fused"
 
 
 class ExecutionEngine:
@@ -68,6 +69,9 @@ class ExecutionEngine:
 
     kind = "decoded"
 
+    #: Decoder factory; the fused subclass swaps in its block compiler.
+    _decoder_class = ProgramDecoder
+
     def __init__(self, step_limit: int = DEFAULT_STEP_LIMIT,
                  opcode_cost_fn: Optional[Callable[[Instruction], float]] = None,
                  strict_uninitialized: bool = True,
@@ -75,7 +79,7 @@ class ExecutionEngine:
         self.step_limit = step_limit
         self.opcode_cost_fn = opcode_cost_fn
         self.strict_uninitialized = strict_uninitialized
-        self._decoder = ProgramDecoder(
+        self._decoder = self._decoder_class(
             strict_uninitialized=strict_uninitialized,
             opcode_cost_fn=opcode_cost_fn,
             cache_size=decode_cache_size)
@@ -112,21 +116,32 @@ class ExecutionEngine:
         return self._execute(decoded, machine)
 
     def run_batch(self, program: BpfProgram, tests: Sequence[ProgramInput],
-                  stop_on_first_fault: bool = False) -> List[ProgramOutput]:
+                  stop_on_first_fault: bool = False,
+                  expected: Optional[Sequence[ProgramOutput]] = None,
+                  ) -> List[ProgramOutput]:
         """Execute ``program`` on every test, decoding once.
 
         With ``stop_on_first_fault`` the batch ends after the first faulting
         output (which is included in the returned list) — callers that only
         need to know *whether* a candidate misbehaves can skip the rest.
+
+        With ``expected`` (reference outputs aligned with ``tests``) the
+        batch ends after the first output whose ``observable()`` diverges
+        from the reference — the replay stage's first-divergence early
+        exit.  The divergent output is included, so a returned list shorter
+        than ``tests`` pinpoints the refuting index at ``len(result) - 1``.
         """
         decoded = self.decode(program)
         machine = self._machine_for(program)
         outputs: List[ProgramOutput] = []
-        for test in tests:
+        for index, test in enumerate(tests):
             machine.reset(test)
             output = self._execute(decoded, machine)
             outputs.append(output)
             if stop_on_first_fault and output.fault is not None:
+                break
+            if expected is not None and \
+                    output.observable() != expected[index].observable():
                 break
         return outputs
 
@@ -200,19 +215,117 @@ class ExecutionEngine:
         return output
 
 
+class FusedEngine(ExecutionEngine):
+    """The superinstruction tier: fused blocks plus batched replay.
+
+    Two changes over the decoded engine, both proven bit-identical by the
+    differential batteries in ``tests/test_engine_fused.py`` and
+    ``tests/test_batch_replay.py``:
+
+    * programs decode to per-basic-block superinstructions
+      (:mod:`repro.engine.fuse`) executed by a block-level dispatch loop —
+      one Python call per *block* instead of one per instruction;
+    * :meth:`run_batch` rewinds the machine from cached per-test reset
+      images (the packet/ctx row matrix built by
+      :meth:`~repro.engine.machine.ResettableMachine.reset_images`) instead
+      of re-deriving ctx fields and replaying map contents on every run.
+
+    Programs whose static jump structure the CFG builder rejects fall back
+    to decoded per-instruction execution inside the fusing decoder, so the
+    engine accepts exactly the programs the other engines accept.
+    """
+
+    kind = "fused"
+    _decoder_class = FusedDecoder
+
+    def run_batch(self, program: BpfProgram, tests: Sequence[ProgramInput],
+                  stop_on_first_fault: bool = False,
+                  expected: Optional[Sequence[ProgramOutput]] = None,
+                  ) -> List[ProgramOutput]:
+        decoded = self.decode(program)
+        machine = self._machine_for(program)
+        images = machine.reset_images(tests)
+        outputs: List[ProgramOutput] = []
+        for index, image in enumerate(images):
+            machine.reset_from_image(image)
+            output = self._execute(decoded, machine)
+            outputs.append(output)
+            if stop_on_first_fault and output.fault is not None:
+                break
+            if expected is not None and \
+                    output.observable() != expected[index].observable():
+                break
+        return outputs
+
+    def _execute(self, decoded, machine: ResettableMachine) -> ProgramOutput:
+        if not isinstance(decoded, FusedProgram):
+            # CfgError fallback: per-instruction decoded execution.
+            return super()._execute(decoded, machine)
+        handlers = decoded.handlers
+        num_insns = decoded.num_insns
+        limit = self.step_limit
+        estimated = 0.0
+        steps = 0
+        pc = 0
+        return_value = None
+        fault_text = None
+        self.runs += 1
+        try:
+            while True:
+                if not 0 <= pc < num_insns:
+                    # Mirror the legacy loop's fault precedence exactly:
+                    # the step-limit check runs before the pc-bounds check
+                    # on every iteration.
+                    machine.fused_steps = steps
+                    machine.fused_est = estimated
+                    if steps >= limit:
+                        raise InstructionLimitExceeded(
+                            f"exceeded {limit} steps", pc)
+                    raise InvalidJumpTarget(f"pc {pc} outside program", pc)
+                pc, steps, estimated = handlers[pc](
+                    machine, steps, limit, estimated)
+                if pc is None:
+                    return_value = machine.exit_value
+                    break
+        except BpfFault as fault:
+            fault_text = f"{type(fault).__name__}: {fault}"
+            # The loop locals are stale when a block raised mid-flight; the
+            # block (or the bounds check above) spilled exact progress.
+            steps = machine.fused_steps
+            estimated = machine.fused_est
+        # Untouched packet: serve the image's captured packet output (equal
+        # bytes; the flag is set by every packet byte-write path and the
+        # extent compare catches adjust_head/adjust_tail).
+        packet = machine._image_packet_out
+        if (packet is None or machine.packet_dirty
+                or machine.packet_start != PACKET_HEADROOM
+                or machine.packet_end != machine._image_packet_end):
+            packet = machine.packet_bytes()
+        return ProgramOutput(return_value, packet,
+                             machine.snapshot_maps_dirty(), fault_text,
+                             steps, estimated)
+
+
 def create_engine(kind: Optional[str] = None,
                   step_limit: int = DEFAULT_STEP_LIMIT,
                   opcode_cost_fn: Optional[Callable[[Instruction], float]] = None,
                   strict_uninitialized: bool = True,
                   decode_cache_size: int = 512):
-    """Build an execution engine for the ``--engine legacy|decoded`` knob.
+    """Build an execution engine for the ``--engine fused|decoded|legacy``
+    knob.
 
-    ``None`` (and ``"auto"``) select the decoded engine; ``"legacy"`` returns
-    the reference interpreter with the same run/run_batch surface, which is
-    the ablation baseline the throughput bench measures against.
+    ``None`` (and ``"auto"``) select the fused engine — the fastest tier —
+    while ``"decoded"`` and ``"legacy"`` remain as ablation baselines (the
+    throughput bench gates fused against decoded and decoded against
+    legacy).
     """
     if kind is None or kind == "auto":
         kind = DEFAULT_ENGINE_KIND
+    if kind == "fused":
+        return FusedEngine(step_limit=step_limit,
+                           opcode_cost_fn=opcode_cost_fn,
+                           strict_uninitialized=strict_uninitialized,
+                           decode_cache_size=decode_cache_size)
     if kind == "decoded":
         return ExecutionEngine(step_limit=step_limit,
                                opcode_cost_fn=opcode_cost_fn,

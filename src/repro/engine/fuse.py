@@ -1,0 +1,893 @@
+"""Superinstruction fusion: one compiled callable per basic block.
+
+The decoded engine (:mod:`repro.engine.decode`) pays one Python closure call
+per executed instruction.  For straight-line code that call is almost pure
+overhead: the closure body is a handful of list indexing operations, so the
+interpreter loop spends most of its time entering and leaving frames.  This
+module removes that boundary by *fusing* each basic block — the unit of
+straight-line control flow produced by :func:`repro.bpf.cfg.build_cfg` —
+into a single ``exec``-compiled Python function (a *superinstruction*)
+whose body inlines the semantics of every instruction in the block:
+
+* register reads/writes become direct ``regs[i]`` indexing on hoisted
+  locals, with operand masks, immediates, jump targets and fault messages
+  folded to literals at compile time;
+* ALU and jump semantics are specialized per opcode (the generic
+  ``alu_op_concrete`` dispatch disappears);
+* loads and stores inline the flat-address region routing of
+  :func:`repro.engine.decode.resolve_address` for the stack, packet and ctx
+  fast paths, falling back to the shared routine for map values and faults;
+* ctx loads of packet-pointer fields bake the hook's field table into a
+  per-width offset set, so the rebase test is one frozenset probe;
+* helper calls and unsupported encodings delegate to the position-compiled
+  micro-op of the decoded engine, bound as a default argument.
+
+Fused blocks preserve the legacy interpreter's observable contract exactly:
+the step counter, the cost-model accumulation order, and every fault type,
+message and precedence rule are emitted per instruction in the same order
+the decoded engine executes them.  The per-instruction step-limit check is
+hoisted to one budget compare at trace entry; entries too close to the
+limit divert to :func:`_careful_trace`, which replays the span through the
+decoded micro-ops with the legacy per-instruction check, so limit faults
+carry the exact pc and step count.  ``tests/test_engine_fused.py`` enforces
+bit-identity differentially.
+
+Caching mirrors the decoded engine's two levels: a per-block memo keyed on
+``(start pc, instruction fields, hook signature)`` so MCMC proposal churn
+only recompiles the blocks a mutation actually touched, and an LRU cache of
+whole fused programs keyed on ``content_key``.  Programs whose static jump
+structure is broken (``build_cfg`` raises :class:`~repro.bpf.cfg.CfgError`
+for out-of-range targets that only fault dynamically) fall back to the
+decoded per-instruction path, keeping the engine total.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+from collections import OrderedDict
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from ..bpf.cfg import CfgError, build_cfg
+from ..bpf.helpers import helper_spec
+from ..bpf.hooks import CtxFieldKind, Hook
+from ..bpf.instruction import Instruction
+from ..bpf.opcodes import AluOp, JmpOp, SrcOperand, STACK_SIZE
+from ..bpf.program import BpfProgram
+from ..bpf.regions import CTX_BASE, MAP_VALUE_BASE, PACKET_BASE, STACK_BASE
+from ..interpreter.errors import (
+    InstructionLimitExceeded,
+    NullPointerDereference,
+    OutOfBoundsAccess,
+    ReadOnlyRegisterWrite,
+    UninitializedRead,
+)
+from ..interpreter.state import MAP_PTR_BASE
+from ..semantics import byteswap, to_signed
+from .decode import (
+    _HELPER_BODIES,
+    DecodedProgram,
+    MicroOp,
+    ProgramDecoder,
+    compile_instruction,
+    resolve_address,
+)
+
+__all__ = ["FusedProgram", "FusedDecoder", "compile_trace"]
+
+#: Upper bound on instructions covered by one fused trace.  Extension stops
+#: only at basic-block boundaries, so every pc a trace can return is still
+#: a leader with its own handler.  The cap bounds both generated-code size
+#: (each leader's trace may overlap its successors') and the recompilation
+#: cost of a mutation under proposal churn.
+_TRACE_INSN_CAP = 48
+
+_U64 = (1 << 64) - 1
+_U32 = (1 << 32) - 1
+_REGION_SPAN = 0x1000_0000_0000
+
+#: Upper bound on the per-block memo (same backstop role as the decoded
+#: engine's per-instruction memo).
+_MAX_BLOCK_MEMO = 1 << 14
+
+def _careful_trace(m, steps, limit, est, pc, end, ops, costs):
+    """Per-instruction replay of a trace span near the step limit.
+
+    The fused fast path checks the step budget once at trace entry: with
+    at least ``end - start`` steps remaining it cannot trip the limit, so
+    its body carries no per-instruction limit compares.  When fewer steps
+    remain, this routine takes over and replays the same span through the
+    decoded micro-ops with the legacy interpreter's exact per-instruction
+    check, so the limit fault carries the precise pc and step count.
+    ``ops``/``costs`` are indexed relative to the trace start.
+    """
+    start = pc
+    try:
+        while pc < end:
+            if steps >= limit:
+                raise InstructionLimitExceeded(
+                    f"exceeded {limit} steps", pc)
+            steps += 1
+            if costs is not None:
+                est += costs[pc - start]
+            next_pc = ops[pc - start](m, pc)
+            if next_pc is None:
+                return None, steps, est
+            if next_pc != pc + 1:
+                return next_pc, steps, est
+            pc = next_pc
+        return end, steps, est
+    except BaseException:
+        m.fused_steps = steps
+        m.fused_est = est
+        raise
+
+
+#: Globals shared by every generated block function: fault constructors and
+#: the routines that stay out-of-line (byteswap for its odd width errors,
+#: resolve_address for map values and fault paths, the careful near-limit
+#: trace replay).
+_BLOCK_GLOBALS = {
+    "_UNINIT": UninitializedRead,
+    "_OOB": OutOfBoundsAccess,
+    "_ROWRITE": ReadOnlyRegisterWrite,
+    "_NPD": NullPointerDereference,
+    "_byteswap": byteswap,
+    "_resolve": resolve_address,
+    "_ifb": int.from_bytes,
+    "_care": _careful_trace,
+    # Fixed-width little-endian accessors: prebound struct methods avoid
+    # the slice allocation of bytes + int.from_bytes on every access.
+    "_g2": struct.Struct("<H").unpack_from,
+    "_g4": struct.Struct("<I").unpack_from,
+    "_g8": struct.Struct("<Q").unpack_from,
+    "_s2": struct.Struct("<H").pack_into,
+    "_s4": struct.Struct("<I").pack_into,
+    "_s8": struct.Struct("<Q").pack_into,
+}
+
+#: A fused basic block: ``(machine, steps, limit, est) -> (next_pc, steps,
+#: est)`` where ``next_pc`` is None on exit.  On any exception the block
+#: spills its step/cost progress to ``machine.fused_steps``/``fused_est``
+#: before re-raising, so the runner reports faults with exact counters.
+BlockFn = Callable[[object, int, int, float], Tuple[Optional[int], int, float]]
+
+
+# --------------------------------------------------------------------------- #
+# Hook signature: the part of a hook that fused code depends on
+# --------------------------------------------------------------------------- #
+@dataclasses.dataclass(frozen=True)
+class _HookInfo:
+    """Ctx layout facts baked into fused memory accesses."""
+
+    ctx_size: int
+    #: ``width -> frozenset(offsets)`` of packet-pointer fields of that exact
+    #: size (the only ctx loads the engines rebase onto PACKET_BASE).
+    packet_ptr_offsets: Tuple[Tuple[int, frozenset], ...]
+
+    def offsets_for_width(self, width: int) -> frozenset:
+        for candidate, offsets in self.packet_ptr_offsets:
+            if candidate == width:
+                return offsets
+        return frozenset()
+
+    @property
+    def key(self) -> tuple:
+        return (self.ctx_size, self.packet_ptr_offsets)
+
+
+def _hook_info(hook: Hook) -> _HookInfo:
+    by_width: Dict[int, set] = {}
+    for field in hook.fields:
+        if field.kind in (CtxFieldKind.PACKET_PTR, CtxFieldKind.PACKET_END_PTR):
+            by_width.setdefault(field.size, set()).add(field.offset)
+    packed = tuple(sorted((width, frozenset(offsets))
+                          for width, offsets in by_width.items()))
+    return _HookInfo(ctx_size=hook.ctx_size, packet_ptr_offsets=packed)
+
+
+# --------------------------------------------------------------------------- #
+# Code generation
+# --------------------------------------------------------------------------- #
+class _BlockEmitter:
+    """Accumulates the source lines of one fused block function."""
+
+    #: Machine buffers hoisted to locals when a trace touches them (object
+    #: identity is stable for a whole run: resets and helpers mutate the
+    #: buffers in place, never rebind the attributes).
+    _BUFFERS = {"_stk": "m.stack", "_stki": "m.stack_initialized",
+                "_pkt": "m.packet_buffer", "_ctx": "m.ctx",
+                "_ps": "m.packet_start", "_pe": "m.packet_end"}
+
+    def __init__(self, strict: bool, hoist_packet: bool = False):
+        self.strict = strict
+        #: True when the trace contains no helper calls, so the packet
+        #: extents are loop-invariant and can be hoisted to entry locals
+        #: (only adjust_head/adjust_tail ever move them mid-run).
+        self.hoist_packet = hoist_packet
+        self.lines: list = []
+        #: Objects the generated code binds as default arguments (micro-ops
+        #: for delegated instructions, frozensets for ctx rebasing).
+        self.deps: list = []
+        #: Step increments accumulated statically since the last
+        #: materialization point (see :meth:`flush_steps`).
+        self.pending = 0
+        #: Hoisted buffer locals this trace references.
+        self.buffers: set = set()
+
+    def add(self, line: str, depth: int = 0) -> None:
+        self.lines.append("        " + "    " * depth + line)
+
+    def bind(self, name: str, value) -> str:
+        self.deps.append((name, value))
+        return name
+
+    def buffer(self, name: str) -> str:
+        self.buffers.add(name)
+        return name
+
+    def packet_extents(self, depth: int) -> Tuple[str, str]:
+        """Names for (packet_start, packet_end) inside a packet branch."""
+        if self.hoist_packet:
+            return self.buffer("_ps"), self.buffer("_pe")
+        self.add("_ps = m.packet_start", depth)
+        return "_ps", "m.packet_end"
+
+    @staticmethod
+    def load_expr(buf: str, off: str, width: int) -> str:
+        """A little-endian unsigned read: direct index for single bytes,
+        a prebound ``struct`` unpack (no slice allocation) otherwise."""
+        if width == 1:
+            return f"{buf}[{off}]"
+        return f"_g{width}({buf}, {off})[0]"
+
+    @staticmethod
+    def store_line(buf: str, off: str, width: int) -> str:
+        """The little-endian write matching :meth:`load_expr`."""
+        if width == 1:
+            return f"{buf}[{off}] = _v"
+        return f"_s{width}({buf}, {off}, _v)"
+
+    # ------------------------------------------------------------------ #
+    # Static step accounting.  Straight-line step counts are known at
+    # compile time, so the counter is materialized only where its exact
+    # value is observable: at trace exits (folded into the return), before
+    # out-of-line calls that may raise a BpfFault and continue (the spill
+    # handler reads the local), and just before emitted fault raises.
+    # ------------------------------------------------------------------ #
+    @property
+    def steps_expr(self) -> str:
+        return f"steps + {self.pending}" if self.pending else "steps"
+
+    def flush_steps(self) -> None:
+        if self.pending:
+            self.add(f"steps += {self.pending}")
+            self.pending = 0
+
+    def _guard_raise(self, depth: int) -> None:
+        # Immediately followed by an unconditional raise in the same
+        # branch, so mutating ``steps`` here cannot desync other paths.
+        if self.pending:
+            self.add(f"steps += {self.pending}", depth)
+
+    def emit_prologue(self, cost) -> None:
+        # No limit compare here: the trace-entry budget guard proved the
+        # whole span fits (near-limit entries divert to _careful_trace).
+        self.pending += 1
+        if cost is not None:
+            self.add(f"est += {cost!r}")
+
+    def emit_raise(self, expr: str, depth: int = 0) -> None:
+        self._guard_raise(depth)
+        self.add(f"raise {expr}", depth)
+
+    def check_init(self, reg: int, pc: int, depth: int = 0) -> None:
+        if not self.strict:
+            return
+        self.add(f"if not ini[{reg}]:", depth)
+        self.emit_raise(f"_UNINIT('read of uninitialized r{reg}', {pc})",
+                        depth + 1)
+
+    # ------------------------------------------------------------------ #
+    # ALU / jumps
+    # ------------------------------------------------------------------ #
+    def emit_alu(self, insn: Instruction, pc: int) -> None:
+        kind = insn.alu_op
+        is64 = insn.is_alu64
+        dst = insn.dst
+        mask = _U64 if is64 else _U32
+        width = 64 if is64 else 32
+
+        if kind == AluOp.END:
+            swap = insn.src_operand == SrcOperand.X
+            self.check_init(dst, pc)
+            self.add(f"_v = regs[{dst}]")
+            if swap:
+                # Out-of-line: odd widths raise OverflowError, which must
+                # propagate (not become a BpfFault), exactly as decoded.
+                self.add(f"_v = _byteswap(_v, {insn.imm})")
+            else:
+                self.add(f"_v = _v & {(1 << insn.imm) - 1}")
+            if dst == 10:
+                self.emit_raise(
+                    f"_ROWRITE('write to frame pointer r10', {pc})")
+                return
+            self.add(f"regs[{dst}] = _v & {_U64}")
+            self.add(f"ini[{dst}] = True")
+            return
+
+        if kind == AluOp.NEG:
+            if dst == 10:
+                self.emit_raise(
+                    f"_ROWRITE('write to frame pointer r10', {pc})")
+                return
+            self.check_init(dst, pc)
+            read = f"regs[{dst}]" if is64 else f"(regs[{dst}] & {_U32})"
+            self.add(f"regs[{dst}] = -{read} & {mask}")
+            self.add(f"ini[{dst}] = True")
+            return
+
+        uses_reg = insn.uses_reg_source
+        src = insn.src
+
+        if kind == AluOp.MOV:
+            if dst == 10:
+                if uses_reg:
+                    self.check_init(src, pc)
+                self.emit_raise(
+                    f"_ROWRITE('write to frame pointer r10', {pc})")
+                return
+            if uses_reg:
+                self.check_init(src, pc)
+                self.add(f"regs[{dst}] = regs[{src}] & {mask}")
+            else:
+                self.add(f"regs[{dst}] = {(insn.imm & _U64) & mask}")
+            self.add(f"ini[{dst}] = True")
+            return
+
+        if dst == 10:
+            if uses_reg:
+                self.check_init(src, pc)
+            self.check_init(dst, pc)
+            self.emit_raise(f"_ROWRITE('write to frame pointer r10', {pc})")
+            return
+
+        # Binary op: the decoded engine checks/reads src before dst.
+        if uses_reg:
+            self.check_init(src, pc)
+            self.add(f"_b = regs[{src}]" + ("" if is64 else f" & {_U32}"))
+            b = "_b"
+            b_const = None
+        else:
+            b_const = (insn.imm & _U64) & mask
+            b = str(b_const)
+        self.check_init(dst, pc)
+        self.add(f"_a = regs[{dst}]" + ("" if is64 else f" & {_U32}"))
+
+        shift_mask = width - 1
+        if kind == AluOp.ADD:
+            expr = f"(_a + {b})"
+        elif kind == AluOp.SUB:
+            expr = f"(_a - {b})"
+        elif kind == AluOp.MUL:
+            expr = f"(_a * {b})"
+        elif kind == AluOp.DIV:
+            if b_const is not None:
+                expr = "0" if b_const == 0 else f"(_a // {b_const})"
+            else:
+                expr = f"(0 if _b == 0 else _a // _b)"
+        elif kind == AluOp.MOD:
+            if b_const is not None:
+                expr = "_a" if b_const == 0 else f"(_a % {b_const})"
+            else:
+                expr = f"(_a if _b == 0 else _a % _b)"
+        elif kind == AluOp.OR:
+            expr = f"(_a | {b})"
+        elif kind == AluOp.AND:
+            expr = f"(_a & {b})"
+        elif kind == AluOp.XOR:
+            expr = f"(_a ^ {b})"
+        elif kind == AluOp.LSH:
+            amount = b_const & shift_mask if b_const is not None \
+                else f"(_b & {shift_mask})"
+            expr = f"(_a << {amount})"
+        elif kind == AluOp.RSH:
+            amount = b_const & shift_mask if b_const is not None \
+                else f"(_b & {shift_mask})"
+            expr = f"(_a >> {amount})"
+        elif kind == AluOp.ARSH:
+            amount = b_const & shift_mask if b_const is not None \
+                else f"(_b & {shift_mask})"
+            self.add(f"_a = _a - {1 << width} if _a >= {1 << (width - 1)} "
+                     f"else _a")
+            expr = f"(_a >> {amount})"
+        else:  # pragma: no cover - exhaustive over AluOp
+            raise ValueError(f"unsupported ALU op {kind!r}")
+        self.add(f"regs[{dst}] = {expr} & {mask}")
+        self.add(f"ini[{dst}] = True")
+
+    def _jump_condition(self, insn: Instruction, pc: int) -> str:
+        """Emit operand loads; return the branch-taken expression."""
+        jop = insn.jmp_op
+        is64 = not insn.is_jump32
+        mask = _U64 if is64 else _U32
+        width = 64 if is64 else 32
+        dst = insn.dst
+
+        # Decoded cond jumps check/read dst before src.
+        self.check_init(dst, pc)
+        self.add(f"_a = regs[{dst}]" + ("" if is64 else f" & {_U32}"))
+        if insn.uses_reg_source:
+            src = insn.src
+            self.check_init(src, pc)
+            self.add(f"_b = regs[{src}]" + ("" if is64 else f" & {_U32}"))
+            b = "_b"
+            b_const = None
+        else:
+            b_const = (insn.imm & _U64) & mask
+            b = str(b_const)
+
+        unsigned = {JmpOp.JEQ: "==", JmpOp.JNE: "!=", JmpOp.JGT: ">",
+                    JmpOp.JGE: ">=", JmpOp.JLT: "<", JmpOp.JLE: "<="}
+        signed = {JmpOp.JSGT: ">", JmpOp.JSGE: ">=",
+                  JmpOp.JSLT: "<", JmpOp.JSLE: "<="}
+        if jop in unsigned:
+            return f"_a {unsigned[jop]} {b}"
+        if jop == JmpOp.JSET:
+            return f"(_a & {b}) != 0"
+        if jop in signed:
+            self.add(f"_a = _a - {1 << width} if _a >= {1 << (width - 1)} "
+                     f"else _a")
+            if b_const is not None:
+                return f"_a {signed[jop]} {to_signed(b_const, width)}"
+            self.add(f"_b = _b - {1 << width} if _b >= {1 << (width - 1)} "
+                     f"else _b")
+            return f"_a {signed[jop]} _b"
+        raise ValueError(f"unsupported jump op {jop!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------------ #
+    # Memory accesses (inline the region routing of resolve_address)
+    # ------------------------------------------------------------------ #
+    def emit_load(self, insn: Instruction, pc: int, info: _HookInfo) -> None:
+        src, dst, off, width = insn.src, insn.dst, insn.off, insn.access_bytes
+        if src == 10:
+            # Frame-pointer-relative access: r10 is a compile-time constant
+            # (STACK_BASE + STACK_SIZE; writes to it always fault and reset
+            # always initializes it), so the region routing and the bounds
+            # check fold away entirely.  No out-of-line call remains, so
+            # the step counter stays pending (raises materialize locally).
+            k = STACK_SIZE + off
+            if not 0 <= k <= STACK_SIZE - width:
+                if k >= 0:
+                    self.emit_raise(
+                        f"_OOB('stack access at offset {off} "
+                        f"width {width}', {pc})")
+                else:
+                    address = (STACK_BASE + k) & _U64
+                    self.emit_raise(f"_NPD('access through non-pointer "
+                                    f"value {address:#x}', {pc})")
+                return
+            if self.strict:
+                self.add(f"if 0 in {self.buffer('_stki')}[{k}:{k + width}]:")
+                self.emit_raise(f"_UNINIT('read of uninitialized stack "
+                                f"bytes at {off}', {pc})", 1)
+            if dst == 10:
+                self.emit_raise(f"_ROWRITE('write to frame pointer r10', "
+                                f"{pc})")
+                return
+            self.add(f"regs[{dst}] = "
+                     f"{self.load_expr(self.buffer('_stk'), str(k), width)}")
+            self.add(f"ini[{dst}] = True")
+            return
+        # The else-branch's _resolve may raise a BpfFault and continue, so
+        # the step counter is materialized for the whole access.  The
+        # region tests are disjoint, so their order is free: packet and ctx
+        # come first (the r10 fast path above absorbs most stack traffic).
+        self.flush_steps()
+        self.check_init(src, pc)
+        self.add(f"_addr = (regs[{src}] + {off}) & {_U64}")
+
+        self.add(f"if {PACKET_BASE} <= _addr < {PACKET_BASE + _REGION_SPAN}:")
+        self.add(f"_o = _addr - {PACKET_BASE}", 1)
+        ps, pe = self.packet_extents(1)
+        self.add(f"if not {ps} <= _o <= {pe} - {width}:", 1)
+        self.add(f"raise _OOB('packet access at %d width {width} (packet "
+                 f"length %d)' % (_o - {ps}, {pe} - {ps}), {pc})", 2)
+        self.add(f"_v = {self.load_expr(self.buffer('_pkt'), '_o', width)}", 1)
+
+        self.add(f"elif {CTX_BASE} <= _addr < {CTX_BASE + _REGION_SPAN}:")
+        self.add(f"_o = _addr - {CTX_BASE}", 1)
+        self.add(f"if _o > {info.ctx_size - width}:", 1)
+        self.add(f"raise _OOB('ctx access at %d width {width}' % _o, {pc})", 2)
+        self.add(f"_v = {self.load_expr(self.buffer('_ctx'), '_o', width)}", 1)
+        rebase = info.offsets_for_width(width)
+        if rebase:
+            name = self.bind(f"_po_{pc}", rebase)
+            self.add(f"if _o in {name}:", 1)
+            self.add(f"_v = {PACKET_BASE} + _v", 2)
+
+        self.add(f"elif {STACK_BASE} <= _addr < {STACK_BASE + _REGION_SPAN}:")
+        self.add(f"_o = _addr - {STACK_BASE}", 1)
+        self.add(f"if _o > {STACK_SIZE - width}:", 1)
+        self.add(f"raise _OOB('stack access at offset %d width {width}' "
+                 f"% (_o - {STACK_SIZE}), {pc})", 2)
+        if self.strict:
+            self.add(f"if 0 in {self.buffer('_stki')}[_o:_o + {width}]:", 1)
+            self.add(f"raise _UNINIT('read of uninitialized stack bytes "
+                     f"at %d' % (_o - {STACK_SIZE}), {pc})", 2)
+        self.add(f"_v = {self.load_expr(self.buffer('_stk'), '_o', width)}", 1)
+
+        self.add("else:")
+        self.add(f"_buf, _o, _r = _resolve(m, _addr, {width}, {pc}, False)", 1)
+        self.add(f"_v = {self.load_expr('_buf', '_o', width)}", 1)
+
+        if dst == 10:
+            self.add(f"raise _ROWRITE('write to frame pointer r10', {pc})")
+            return
+        self.add(f"regs[{dst}] = _v & {_U64}")
+        self.add(f"ini[{dst}] = True")
+
+    def emit_store(self, insn: Instruction, pc: int, info: _HookInfo) -> None:
+        dst, src, off, width = insn.dst, insn.src, insn.off, insn.access_bytes
+        value_mask = (1 << (8 * width)) - 1
+
+        def value_lines(buffer: str, depth: int, offset: str = "_o") -> None:
+            """Compute the stored value (after bounds checks, as decoded)."""
+            if insn.is_xadd:
+                self.check_init(src, pc, depth)
+                self.add(f"_v = (regs[{src}] + "
+                         f"{self.load_expr(buffer, offset, width)})"
+                         f" & {value_mask}", depth)
+            elif insn.is_store_reg:
+                self.check_init(src, pc, depth)
+                self.add(f"_v = regs[{src}] & {value_mask}", depth)
+            else:
+                self.add(f"_v = {insn.imm & value_mask}", depth)
+
+        if dst == 10:
+            # Constant frame-pointer base: see the matching load fast path.
+            k = STACK_SIZE + off
+            if not 0 <= k <= STACK_SIZE - width:
+                if k >= 0:
+                    self.emit_raise(
+                        f"_OOB('stack access at offset {off} "
+                        f"width {width}', {pc})")
+                else:
+                    address = (STACK_BASE + k) & _U64
+                    self.emit_raise(f"_NPD('access through non-pointer "
+                                    f"value {address:#x}', {pc})")
+                return
+            value_lines(self.buffer("_stk"), 0, str(k))
+            self.add(self.store_line(self.buffer("_stk"), str(k), width))
+            if width == 1:
+                self.add(f"{self.buffer('_stki')}[{k}] = 1")
+            else:
+                shadow = b"\x01" * width
+                self.add(f"{self.buffer('_stki')}[{k}:{k + width}] = "
+                         f"{shadow!r}")
+            return
+
+        self.flush_steps()
+        self.check_init(dst, pc)
+        self.add(f"_addr = (regs[{dst}] + {off}) & {_U64}")
+
+        self.add(f"if {PACKET_BASE} <= _addr < {PACKET_BASE + _REGION_SPAN}:")
+        self.add(f"_o = _addr - {PACKET_BASE}", 1)
+        ps, pe = self.packet_extents(1)
+        self.add(f"if not {ps} <= _o <= {pe} - {width}:", 1)
+        self.add(f"raise _OOB('packet access at %d width {width} (packet "
+                 f"length %d)' % (_o - {ps}, {pe} - {ps}), {pc})", 2)
+        value_lines(self.buffer("_pkt"), 1)
+        self.add(self.store_line(self.buffer("_pkt"), "_o", width), 1)
+        self.add("m.packet_dirty = True", 1)
+
+        self.add(f"elif {STACK_BASE} <= _addr < {STACK_BASE + _REGION_SPAN}:")
+        self.add(f"_o = _addr - {STACK_BASE}", 1)
+        self.add(f"if _o > {STACK_SIZE - width}:", 1)
+        self.add(f"raise _OOB('stack access at offset %d width {width}' "
+                 f"% (_o - {STACK_SIZE}), {pc})", 2)
+        value_lines(self.buffer("_stk"), 1)
+        self.add(self.store_line(self.buffer("_stk"), "_o", width), 1)
+        if width == 1:
+            self.add(f"{self.buffer('_stki')}[_o] = 1", 1)
+        else:
+            shadow = b"\x01" * width
+            self.add(f"{self.buffer('_stki')}[_o:_o + {width}] = {shadow!r}",
+                     1)
+
+        self.add(f"elif {CTX_BASE} <= _addr < {CTX_BASE + _REGION_SPAN}:")
+        self.add(f"_o = _addr - {CTX_BASE}", 1)
+        self.add(f"if _o > {info.ctx_size - width}:", 1)
+        self.add(f"raise _OOB('ctx access at %d width {width}' % _o, {pc})", 2)
+        self.add(f"raise _OOB('stores to ctx memory are not permitted', {pc})",
+                 1)
+
+        self.add("else:")
+        self.add(f"_buf, _o, _r = _resolve(m, _addr, {width}, {pc})", 1)
+        value_lines("_buf", 1)
+        self.add(self.store_line("_buf", "_o", width), 1)
+
+
+def compile_trace(instructions, start: int, end: int, strict: bool,
+                  costs, info: _HookInfo,
+                  micro_op_for: Callable[[int], MicroOp]) -> BlockFn:
+    """Compile ``instructions[start:end]`` into one fused superinstruction.
+
+    The span is a *trace*: one or more consecutive basic blocks in which
+    every non-final conditional jump falls through to the next covered
+    instruction (the taken edge returns to the dispatch loop, the
+    fall-through edge continues inside the same function).  Compiling a
+    single basic block is the one-block special case.
+
+    ``costs`` is the per-instruction cost table of the whole program (or
+    None without a cost model); ``micro_op_for`` supplies decoded micro-ops
+    for delegated instructions (calls, unsupported encodings).
+    """
+    emitter = _BlockEmitter(
+        strict,
+        hoist_packet=not any(instructions[pc].is_call
+                             for pc in range(start, end)))
+    terminated = False
+    for pc in range(start, end):
+        insn = instructions[pc]
+        emitter.emit_prologue(costs[pc] if costs is not None else None)
+        # Mirror compile_instruction's classification order exactly.
+        if insn.is_nop:
+            if pc == end - 1:
+                emitter.add(f"return {pc + 1}, {emitter.steps_expr}, est")
+                terminated = True
+        elif insn.is_exit:
+            emitter.check_init(0, pc)
+            emitter.add(f"m.exit_value = regs[0] & {_U64}")
+            emitter.add(f"return None, {emitter.steps_expr}, est")
+            terminated = True
+        elif insn.is_unconditional_jump:
+            emitter.add(f"return {pc + 1 + insn.off}, "
+                        f"{emitter.steps_expr}, est")
+            terminated = True
+        elif insn.is_conditional_jump:
+            condition = emitter._jump_condition(insn, pc)
+            emitter.add(f"if {condition}:")
+            emitter.add(f"return {pc + 1 + insn.off}, "
+                        f"{emitter.steps_expr}, est", 1)
+            if pc == end - 1:
+                emitter.add(f"return {pc + 1}, {emitter.steps_expr}, est")
+                terminated = True
+            # Otherwise the fall-through edge continues inside this trace.
+        elif insn.is_lddw:
+            if insn.dst == 10:
+                emitter.emit_raise(
+                    f"_ROWRITE('write to frame pointer r10', {pc})")
+            else:
+                value = (MAP_PTR_BASE + insn.imm if insn.src == 1
+                         else (insn.imm64 or insn.imm)) & _U64
+                emitter.add(f"regs[{insn.dst}] = {value}")
+                emitter.add(f"ini[{insn.dst}] = True")
+        elif insn.is_call:
+            # Helpers may raise a BpfFault and continue: materialize steps.
+            emitter.flush_steps()
+            spec = body = None
+            try:
+                spec = helper_spec(insn.imm)
+                body = _HELPER_BODIES.get(spec.helper_id)
+            except KeyError:
+                pass
+            if body is not None:
+                # Inline the decoded call wrapper: invoke the shared helper
+                # body directly and apply the ABI effects (r0 result, r1-r5
+                # clobber) on the hoisted register locals.
+                name = emitter.bind(f"_hb_{pc}", body)
+                emitter.add(f"_r = {name}(m, {pc}, {strict})")
+                emitter.add(f"m.helper_trace.append(({spec.name!r}, _r))")
+                emitter.add(f"regs[0] = _r & {_U64}")
+                emitter.add("ini[0] = True")
+                emitter.add("ini[1] = ini[2] = ini[3] = False")
+                emitter.add("ini[4] = ini[5] = False")
+            else:
+                # Unknown/unimplemented helpers raise through the micro-op.
+                name = emitter.bind(f"_mo_{pc}", micro_op_for(pc))
+                emitter.add(f"{name}(m, {pc})")
+        elif insn.is_alu:
+            emitter.emit_alu(insn, pc)
+        elif insn.is_load:
+            emitter.emit_load(insn, pc, info)
+        elif insn.is_store or insn.is_xadd:
+            emitter.emit_store(insn, pc, info)
+        else:
+            # Unknown/unsupported encodings raise through their micro-op.
+            emitter.flush_steps()
+            name = emitter.bind(f"_mo_{pc}", micro_op_for(pc))
+            emitter.add(f"{name}(m, {pc})")
+    if not terminated:
+        emitter.add(f"return {end}, {emitter.steps_expr}, est")
+
+    # Near-limit entries replay through micro-ops (exact per-instruction
+    # limit checks); bound eagerly so memoized traces stay program-free.
+    emitter.bind("_ops", tuple(micro_op_for(pc) for pc in range(start, end)))
+    emitter.bind("_costs", (tuple(costs[start:end])
+                            if costs is not None else None))
+
+    defaults = "".join(f", {name}=_deps[{index}]"
+                       for index, (name, _) in enumerate(emitter.deps))
+    hoists = [f"    {name} = {_BlockEmitter._BUFFERS[name]}"
+              for name in sorted(emitter.buffers)]
+    source = "\n".join(
+        [f"def _block(m, steps, limit, est{defaults}):",
+         f"    if steps + {end - start} > limit:",
+         f"        return _care(m, steps, limit, est, {start}, {end}, "
+         f"_ops, _costs)",
+         "    regs = m.regs",
+         "    ini = m.reg_initialized"]
+        + hoists
+        + ["    try:"]
+        + emitter.lines
+        + ["    except BaseException:",
+           "        m.fused_steps = steps",
+           "        m.fused_est = est",
+           "        raise"])
+    namespace = {"_deps": [value for _, value in emitter.deps]}
+    exec(compile(source, f"<fused trace {start}:{end}>", "exec"),
+         _BLOCK_GLOBALS, namespace)
+    return namespace["_block"]
+
+
+# --------------------------------------------------------------------------- #
+# Fused programs and the fusing decoder
+# --------------------------------------------------------------------------- #
+@dataclasses.dataclass
+class FusedProgram:
+    """A program compiled to per-block superinstructions.
+
+    ``handlers`` is indexed by pc; only block-leader pcs hold a callable
+    (every dynamically reachable pc is a leader by CFG construction — jump
+    targets are statically validated, fallthrough lands on the next leader
+    or one past the end, which the runner turns into the legacy fault).
+    """
+
+    handlers: Tuple[Optional[BlockFn], ...]
+    num_insns: int
+
+    def __len__(self) -> int:
+        return self.num_insns
+
+
+class FusedDecoder:
+    """Compiles programs to fused blocks behind the same two cache layers
+    as :class:`~repro.engine.decode.ProgramDecoder`, with a third, block
+    -level memo in between so proposal churn only recompiles changed blocks.
+    """
+
+    def __init__(self, strict_uninitialized: bool = True,
+                 opcode_cost_fn=None, cache_size: int = 512):
+        if cache_size <= 0:
+            raise ValueError("cache_size must be positive")
+        self.strict_uninitialized = strict_uninitialized
+        self.opcode_cost_fn = opcode_cost_fn
+        self.cache_size = cache_size
+        #: Whole-program LRU: content_key -> FusedProgram | DecodedProgram.
+        self._programs: "OrderedDict[tuple, Union[FusedProgram, DecodedProgram]]" = OrderedDict()
+        self._blocks: Dict[tuple, BlockFn] = {}
+        self._micro_memo: Dict[tuple, MicroOp] = {}
+        self._hook_infos: Dict[int, Tuple[Hook, _HookInfo]] = {}
+        #: Decoded-path fallback for programs build_cfg refuses.
+        self._fallback = ProgramDecoder(
+            strict_uninitialized=strict_uninitialized,
+            opcode_cost_fn=opcode_cost_fn, cache_size=cache_size)
+        self.program_hits = 0
+        self.program_misses = 0
+        self.blocks_compiled = 0
+        self.blocks_reused = 0
+        self.fallbacks = 0
+
+    # ------------------------------------------------------------------ #
+    def decode(self, program: BpfProgram) -> Union[FusedProgram, DecodedProgram]:
+        key = program.content_key()
+        cached = self._programs.get(key)
+        if cached is not None:
+            self.program_hits += 1
+            self._programs.move_to_end(key)
+            return cached
+        self.program_misses += 1
+
+        instructions = program.instructions
+        try:
+            cfg = build_cfg(instructions)
+        except CfgError:
+            # Statically broken jump structure: such programs still have
+            # defined dynamic behaviour (they fault when the bad edge is
+            # taken), so execute them through the per-instruction path.
+            self.fallbacks += 1
+            fused: Union[FusedProgram, DecodedProgram] = \
+                self._fallback.decode(program)
+        else:
+            fused = self._fuse(program, cfg)
+        self._programs[key] = fused
+        if len(self._programs) > self.cache_size:
+            self._programs.popitem(last=False)
+        return fused
+
+    def _fuse(self, program: BpfProgram, cfg) -> FusedProgram:
+        instructions = cfg.instructions
+        info = self._info_for(program.hook)
+        cost_fn = self.opcode_cost_fn
+        costs = ([cost_fn(insn) for insn in instructions]
+                 if cost_fn is not None else None)
+        handlers: list = [None] * len(instructions)
+        blocks = cfg.blocks          # in instruction order, contiguous
+        micro_op_for = self._micro_op_for(instructions)
+        for index, block in enumerate(blocks):
+            # Extend the trace through fall-through edges: a block ending in
+            # a conditional jump (or cut only by an external jump target)
+            # continues into its successor inside the same function.  Stops
+            # at exits and unconditional jumps, whose next pc never falls
+            # through, and at the size cap — always on a block boundary.
+            next_index = index
+            end = block.end
+            while True:
+                terminator = instructions[end - 1]
+                if terminator.is_exit or terminator.is_unconditional_jump:
+                    break
+                if end - block.start >= _TRACE_INSN_CAP:
+                    break
+                if next_index + 1 >= len(blocks):
+                    break
+                next_index += 1
+                end = blocks[next_index].end
+            trace_key = (
+                block.start, info.key,
+                tuple((insn.opcode, insn.dst, insn.src, insn.off,
+                       insn.imm, insn.imm64)
+                      for insn in instructions[block.start:end]))
+            fn = self._blocks.get(trace_key)
+            if fn is None:
+                fn = compile_trace(instructions, block.start, end,
+                                   self.strict_uninitialized, costs, info,
+                                   micro_op_for)
+                if len(self._blocks) < _MAX_BLOCK_MEMO:
+                    self._blocks[trace_key] = fn
+                self.blocks_compiled += 1
+            else:
+                self.blocks_reused += 1
+            handlers[block.start] = fn
+        return FusedProgram(handlers=tuple(handlers),
+                            num_insns=len(instructions))
+
+    def _micro_op_for(self, instructions) -> Callable[[int], MicroOp]:
+        strict = self.strict_uninitialized
+        memo = self._micro_memo
+
+        def lookup(pc: int) -> MicroOp:
+            insn = instructions[pc]
+            insn_key = (insn.opcode, insn.dst, insn.src, insn.off,
+                        insn.imm, insn.imm64)
+            op = memo.get(insn_key)
+            if op is None:
+                op = compile_instruction(insn, strict)
+                memo[insn_key] = op
+            return op
+        return lookup
+
+    def _info_for(self, hook: Hook) -> _HookInfo:
+        entry = self._hook_infos.get(id(hook))
+        if entry is None or entry[0] is not hook:
+            entry = (hook, _hook_info(hook))
+            self._hook_infos[id(hook)] = entry
+        return entry[1]
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, float]:
+        probes = self.program_hits + self.program_misses
+        return {
+            "program_hits": self.program_hits,
+            "program_misses": self.program_misses,
+            "program_hit_rate": self.program_hits / probes if probes else 0.0,
+            "programs_cached": len(self._programs),
+            "blocks_compiled": self.blocks_compiled,
+            "blocks_reused": self.blocks_reused,
+            "fallbacks": self.fallbacks,
+        }
+
+
+# Referenced for documentation completeness; MAP_VALUE addresses take the
+# out-of-line `_resolve` path above.
+_ = MAP_VALUE_BASE

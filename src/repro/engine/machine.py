@@ -22,7 +22,8 @@ engine tests run both engines over batches to enforce this).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from collections import OrderedDict
+from typing import List, Optional, Sequence
 
 from ..bpf.hooks import Hook
 from ..bpf.maps import MapEnvironment
@@ -34,6 +35,17 @@ __all__ = ["ResettableMachine"]
 
 _ZERO_STACK = bytes(STACK_SIZE)
 _ZERO_HEADROOM = bytes(PACKET_HEADROOM)
+
+#: Post-reset register file and init flags (ABI: r1 = ctx, r10 = frame
+#: pointer), copied wholesale by the image-based fast reset.
+_RESET_REGS = [0, CTX_BASE, 0, 0, 0, 0, 0, 0, 0, 0, STACK_BASE + STACK_SIZE]
+_RESET_FLAGS = [False, True, False, False, False, False, False, False,
+                False, False, True]
+
+#: Capacity of the per-machine reset-image cache.  Hot-loop batches replay
+#: the same (stable) test-suite objects thousands of times, so identity
+#: hits dominate; the cap only bounds pathological churn.
+_IMAGE_CACHE_SIZE = 1024
 
 
 class ResettableMachine(MachineState):
@@ -66,6 +78,24 @@ class ResettableMachine(MachineState):
         self.helper_trace: List[tuple] = []
         #: Set by the EXIT micro-op; read by the engine's run loop.
         self.exit_value: Optional[int] = None
+        #: Step/cost counters spilled by fused blocks on a fault, so the
+        #: fused runner reports exact progress (the counters live in block
+        #: locals while a superinstruction executes).
+        self.fused_steps = 0
+        self.fused_est = 0.0
+        #: Identity-keyed cache of reset images (see :meth:`reset_images`).
+        self._image_cache: "OrderedDict[int, tuple]" = OrderedDict()
+        #: True once anything may have written packet bytes this run (set
+        #: by fused packet stores and the helper byte-write path); gates
+        #: the image-cached packet output below.
+        self.packet_dirty = False
+        #: Post-reset packet output/extent of the restored image, letting
+        #: the fused runner reuse the image's packet bytes when a run never
+        #: touched the packet (None outside image-based resets).
+        self._image_packet_out: Optional[bytes] = None
+        self._image_packet_end = 0
+        #: Cached all-pristine maps snapshot (see snapshot_maps_dirty).
+        self._pristine_maps_snap: Optional[dict] = None
 
     # ------------------------------------------------------------------ #
     def reset(self, test: ProgramInput) -> None:
@@ -102,9 +132,110 @@ class ResettableMachine(MachineState):
         self._random_cursor = 0
         self.helper_trace = []
         self.exit_value = None
+        self.packet_dirty = False
+        self._image_packet_out = None
 
         # Register ABI: r1 = ctx pointer, r10 = frame pointer.
         regs[1] = CTX_BASE
         initialized[1] = True
         regs[10] = STACK_BASE + STACK_SIZE
         initialized[10] = True
+
+    # ------------------------------------------------------------------ #
+    def snapshot_maps_dirty(self) -> dict:
+        """Per-fd map snapshots via the dirty-aware fast path.
+
+        Equal to ``snapshot_maps()`` (the differential batteries compare
+        them bit-for-bit); used by the fused engine's output construction.
+        When every map is pristine the whole per-fd dict is served from a
+        per-machine cache — snapshots are treated as immutable by every
+        consumer, so sharing the mapping is safe.
+        """
+        maps = self.maps
+        for state in maps.values():
+            if state._dirty:
+                return {fd: state.snapshot_dirty()
+                        for fd, state in maps.items()}
+        snap = self._pristine_maps_snap
+        if snap is None:
+            snap = {fd: state.snapshot_dirty() for fd, state in maps.items()}
+            self._pristine_maps_snap = snap
+        return snap
+
+    # ------------------------------------------------------------------ #
+    # Reset images: the batched-replay fast path.
+    #
+    # ``reset(test)`` spends most of its time in the two parts that depend
+    # on the test case: populating the ctx struct field-by-field and
+    # replaying ``test.map_contents`` through the map-helper path.  A reset
+    # *image* captures the post-reset machine state once per test — the
+    # fully built packet row, ctx row and per-map content images — so every
+    # later rewind for the same test is a handful of buffer copies.  The
+    # batch runner treats the per-test rows as the packet/ctx matrix one
+    # candidate is replayed over.
+    # ------------------------------------------------------------------ #
+    def reset_image(self, test: ProgramInput) -> tuple:
+        """Reset for ``test`` and capture the state as a restore image.
+
+        The machine is left in the freshly reset state, so a caller may run
+        immediately; the returned image replays that exact state through
+        :meth:`reset_from_image`.
+        """
+        self.reset(test)
+        return (test, bytes(self.packet_buffer), bytes(self.ctx),
+                tuple((fd, state.export_image())
+                      for fd, state in self.maps.items()),
+                self.packet_end, self.packet_bytes())
+
+    def reset_images(self, tests: Sequence[ProgramInput]) -> list:
+        """Reset images for a batch, cached by test-object identity.
+
+        Hot-loop consumers replay stable test objects (the synthesis test
+        suite, the verification pipeline's counterexample pool) across
+        thousands of candidates, so the images are cached keyed on
+        ``id(test)`` with an identity check; the entry keeps the test
+        object alive, so ids cannot be reused while cached.
+        """
+        cache = self._image_cache
+        images = []
+        for test in tests:
+            entry = cache.get(id(test))
+            if entry is not None and entry[0] is test:
+                cache.move_to_end(id(test))
+                images.append(entry[1])
+                continue
+            image = self.reset_image(test)
+            cache[id(test)] = (test, image)
+            if len(cache) > _IMAGE_CACHE_SIZE:
+                cache.popitem(last=False)
+            images.append(image)
+        return images
+
+    def reset_from_image(self, image: tuple) -> None:
+        """Rewind to a captured image (bit-identical to ``reset(test)``)."""
+        test, packet_image, ctx_image, map_images, packet_end, packet_out = \
+            image
+        self.test = test
+        self.regs[:] = _RESET_REGS
+        self.reg_initialized[:] = _RESET_FLAGS
+        self.stack[:] = _ZERO_STACK
+        self.stack_initialized[:] = _ZERO_STACK
+        self.packet_buffer[:] = packet_image     # resizes in place
+        self.packet_start = PACKET_HEADROOM
+        self.packet_end = packet_end
+        self.ctx[:] = ctx_image
+        maps = self.maps
+        for fd, map_image in map_images:
+            state = maps[fd]
+            # Pristine on both sides (no dirty entries now, none in the
+            # image) means the restore is a no-op; skip the call.  For
+            # hash-like maps an empty dirty set implies no entries at all
+            # (updates always mark, deletes never unmark).
+            if state._dirty or map_image[3]:
+                state.restore_image(map_image)
+        self._random_cursor = 0
+        self.helper_trace = []
+        self.exit_value = None
+        self.packet_dirty = False
+        self._image_packet_out = packet_out
+        self._image_packet_end = packet_end

@@ -98,19 +98,26 @@ class Interpreter:
         return output
 
     def run_batch(self, program: BpfProgram, tests: Sequence[ProgramInput],
-                  stop_on_first_fault: bool = False) -> List[ProgramOutput]:
+                  stop_on_first_fault: bool = False,
+                  expected: Optional[Sequence[ProgramOutput]] = None,
+                  ) -> List[ProgramOutput]:
         """Execute ``program`` on every test, in order.
 
         Mirrors :meth:`repro.engine.ExecutionEngine.run_batch` so the legacy
         interpreter can stand in for the decoded engine in ablations.  With
         ``stop_on_first_fault`` the batch ends after the first faulting
-        output (which is included in the returned list).
+        output (which is included in the returned list); with ``expected``
+        it ends after the first output whose ``observable()`` diverges from
+        the aligned reference output.
         """
         outputs: List[ProgramOutput] = []
-        for test in tests:
+        for index, test in enumerate(tests):
             output = self.run(program, test)
             outputs.append(output)
             if stop_on_first_fault and output.fault is not None:
+                break
+            if expected is not None and \
+                    output.observable() != expected[index].observable():
                 break
         return outputs
 

@@ -52,7 +52,7 @@ class ProgramInput:
         )
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class ProgramOutput:
     """Observable result of one execution."""
 

@@ -39,6 +39,7 @@ from ..equivalence import (
     EquivalenceResult, Window, WindowEquivalenceChecker,
 )
 from ..interpreter import Interpreter, ProgramInput, ProgramOutput
+from .portfolio import PortfolioEquivalenceChecker
 from .stages import (
     CacheLookupStage, FullSymbolicStage, InterpreterReplayStage, StageOutcome,
     StageVerdict, StaticSafetyStage, VerificationStage, WindowCheckStage,
@@ -162,8 +163,16 @@ class VerificationPipeline:
         self.engine = engine if engine is not None \
             else (interpreter or create_engine())
         self.interpreter = self.engine
-        self.checker = EquivalenceChecker(self.options)
-        self.window_checker = WindowEquivalenceChecker(self.options)
+        # The solver-backed front ends: single incremental checkers, or —
+        # with ``options.portfolio`` — deterministic two-solver portfolios
+        # that bound the incremental sessions' worst case (Table 4).
+        if self.options.portfolio:
+            self.checker = PortfolioEquivalenceChecker(self.options)
+            self.window_checker = PortfolioEquivalenceChecker(
+                self.options, factory=WindowEquivalenceChecker)
+        else:
+            self.checker = EquivalenceChecker(self.options)
+            self.window_checker = WindowEquivalenceChecker(self.options)
         if stages is not None:
             self.stages: List[VerificationStage] = stages
         else:

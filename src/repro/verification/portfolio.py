@@ -1,0 +1,161 @@
+"""Portfolio equivalence front end for the solver-backed pipeline stages.
+
+The incremental-session checkers (:class:`~repro.equivalence.EquivalenceChecker`
+and :class:`~repro.equivalence.WindowEquivalenceChecker`) win on the common
+case — the source side is encoded and bit-blasted once, and every candidate
+query reuses the blasted CNF plus the learned clauses of earlier queries —
+but they have a worst case: a session polluted by learned clauses from
+structurally unrelated candidates can make a later query *slower* than
+solving it from scratch (the Table 4 ``sys_enter_open`` row, where the
+incremental ablation barely broke even against fresh solving).
+
+:class:`PortfolioEquivalenceChecker` removes that worst case without giving
+up the common-case wins.  It keeps two front ends built from the same
+checker factory:
+
+* ``incremental`` — one long-lived session shared by every query against
+  the same source (the classic setup), and
+* ``fresh`` — a session reset at each *new* query, so each query starts
+  from an unpolluted solver, but kept across budget slices of the *same*
+  query so partial work accumulates.
+
+and runs them on a **deterministic budget-doubling dovetail**: each front
+end gets a small SAT-conflict budget; whoever concludes first wins; if both
+exhaust the slice the budget is multiplied and the dovetail continues, up
+to the configured ``max_conflicts``.  Per slice the front ends run in order
+of an exponential moving average of *conflicts spent* — a deterministic
+effort metric, so the schedule (and therefore the search trajectory) is
+bit-identical across runs and across serial / thread / process executors.
+
+This is a sequential simulation of running both solvers concurrently and
+taking the first verdict: total work is bounded by a constant factor of the
+better front end's work, and a pathological session can no longer consume
+more than one capped slice before the clean solver gets its turn.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+from ..equivalence import (
+    EquivalenceChecker, EquivalenceOptions, EquivalenceResult,
+)
+
+__all__ = ["PortfolioEquivalenceChecker"]
+
+#: The only unknown worth retrying with more budget; every other unknown
+#: (imprecise encoding, unalignable effects, encoding failure) is a property
+#: of the query itself and identical for both front ends.
+_RETRYABLE_REASON = "solver budget exhausted"
+
+
+class PortfolioEquivalenceChecker:
+    """First-verdict-wins portfolio over two equivalence front ends.
+
+    ``factory`` builds the underlying checkers (default
+    :class:`~repro.equivalence.EquivalenceChecker`; the pipeline also wraps
+    :class:`~repro.equivalence.WindowEquivalenceChecker` for the window
+    stage).  Checkers must expose ``check(source, candidate, *rest)``,
+    ``reset_session()``, ``conflict_budget`` and ``session_conflicts`` —
+    duck-type compatible with what the pipeline stages already use.  Safe to
+    pickle: the underlying checkers drop their solver sessions in
+    ``__getstate__`` and the portfolio's own scheduling state is plain data.
+    """
+
+    FRONT_ENDS = ("incremental", "fresh")
+
+    def __init__(self, options: Optional[EquivalenceOptions] = None,
+                 factory: Callable = EquivalenceChecker):
+        self.options = options or EquivalenceOptions()
+        self._checkers = {name: factory(self.options)
+                          for name in self.FRONT_ENDS}
+        self.num_queries = 0
+        self.total_time = 0.0
+        #: Conclusive verdicts per front end (the bench's "who won" column).
+        self.wins: Dict[str, int] = {name: 0 for name in self.FRONT_ENDS}
+        #: Budget slices that ended exhausted and forced an escalation.
+        self.escalations = 0
+        self._reset_schedule()
+
+    # ------------------------------------------------------------------ #
+    def _reset_schedule(self) -> None:
+        # EMA of conflicts spent per front end; the leader (lower EMA) runs
+        # first in each slice.  Reset together with the sessions so every
+        # executor backend starts each generation in an identical state.
+        self._ema: Dict[str, float] = {name: 0.0 for name in self.FRONT_ENDS}
+        self._fresh_query_key = None
+
+    def reset_session(self) -> None:
+        """Drop both front ends' solver state and the scheduling state."""
+        for checker in self._checkers.values():
+            checker.reset_session()
+        self._reset_schedule()
+
+    def _order(self):
+        # Stable sort over the declaration order: ties (including the first
+        # query, where both EMAs are zero) keep the incremental session in
+        # the lead, and the whole schedule stays deterministic.
+        return sorted(self.FRONT_ENDS, key=lambda name: self._ema[name])
+
+    @staticmethod
+    def _retryable(result: EquivalenceResult) -> bool:
+        return result.unknown and result.reason.endswith(_RETRYABLE_REASON)
+
+    # ------------------------------------------------------------------ #
+    def check(self, source, candidate, *rest) -> EquivalenceResult:
+        """Decide equivalence; first conclusive front-end verdict wins.
+
+        Extra positional arguments (e.g. the :class:`Window` of a window
+        query) are passed through to the underlying checkers and take part
+        in the query identity used to reset the fresh front end.
+        """
+        started = time.perf_counter()
+        self.num_queries += 1
+
+        fresh = self._checkers["fresh"]
+        query_key = (source.structural_key(), candidate.structural_key(),
+                     rest)
+        if query_key != self._fresh_query_key:
+            # New query: the fresh front end starts from a clean solver but
+            # keeps its session across the slices of this query.
+            fresh.reset_session()
+            self._fresh_query_key = query_key
+
+        full = max(1, self.options.max_conflicts)
+        budget = min(max(1, self.options.portfolio_initial_conflicts), full)
+        growth = max(2, self.options.portfolio_growth)
+
+        result: Optional[EquivalenceResult] = None
+        try:
+            while True:
+                for name in self._order():
+                    checker = self._checkers[name]
+                    checker.conflict_budget = budget
+                    before = checker.session_conflicts
+                    result = checker.check(source, candidate, *rest)
+                    spent = max(0, checker.session_conflicts - before)
+                    self._ema[name] = 0.5 * self._ema[name] + 0.5 * spent
+                    if not self._retryable(result):
+                        self.wins[name] += 1
+                        return result
+                    self.escalations += 1
+                if budget >= full:
+                    # Both front ends exhausted the full budget: genuinely
+                    # unknown, same as the single-checker behaviour.
+                    return result
+                budget = min(budget * growth, full)
+        finally:
+            self.total_time += time.perf_counter() - started
+
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, float]:
+        """Scheduling counters (bench / diagnostic surface)."""
+        summary: Dict[str, float] = {
+            "queries": self.num_queries,
+            "escalations": self.escalations,
+            "seconds": round(self.total_time, 6),
+        }
+        for name in self.FRONT_ENDS:
+            summary[f"wins_{name}"] = self.wins[name]
+        return summary

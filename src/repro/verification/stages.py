@@ -164,17 +164,25 @@ class InterpreterReplayStage(VerificationStage):
         if not pool:
             return StageVerdict(self.name, StageOutcome.ESCALATE,
                                 detail="empty counterexample pool")
-        for test, expected in pool:
-            try:
-                got = pipeline.engine.run(candidate, test)
-            except Exception as exc:  # broken candidate: let the solver tiers
-                return StageVerdict(self.name, StageOutcome.ESCALATE,
-                                    detail=f"replay failed: {exc}")
-            if got.observable() != expected.observable():
-                result = EquivalenceResult(
-                    equivalent=False, counterexample=test,
-                    reason="refuted by pooled counterexample")
-                return StageVerdict(self.name, StageOutcome.REJECT, result)
+        tests = [test for test, _ in pool]
+        expected = [output for _, output in pool]
+        try:
+            # One vectorized batch over the whole pool: the candidate is
+            # decoded once, reset images for the pool are shared, and the
+            # ``expected`` reference outputs give the engine a
+            # first-divergence early exit — a short return pinpoints the
+            # refuting test at ``len(got) - 1``.
+            got = pipeline.engine.run_batch(candidate, tests,
+                                            expected=expected)
+        except Exception as exc:  # broken candidate: let the solver tiers
+            return StageVerdict(self.name, StageOutcome.ESCALATE,
+                                detail=f"replay failed: {exc}")
+        last = len(got) - 1
+        if got and got[last].observable() != expected[last].observable():
+            result = EquivalenceResult(
+                equivalent=False, counterexample=tests[last],
+                reason="refuted by pooled counterexample")
+            return StageVerdict(self.name, StageOutcome.REJECT, result)
         return StageVerdict(self.name, StageOutcome.ESCALATE,
                             detail=f"passed {len(pool)} pooled tests")
 

@@ -281,7 +281,10 @@ class TestEngineFactory:
         legacy = create_engine("legacy")
         assert isinstance(legacy, Interpreter)
         assert legacy.kind == "legacy"
-        assert set(ENGINE_KINDS) == {"decoded", "legacy"}
+        assert set(ENGINE_KINDS) == {"fused", "decoded", "legacy"}
+        # The default and "auto" select the fused tier.
+        assert create_engine().kind == "fused"
+        assert create_engine("auto").kind == "fused"
 
     def test_unknown_kind_rejected(self):
         with pytest.raises(ValueError):
