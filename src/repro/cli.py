@@ -5,8 +5,10 @@ Examples::
     k2 optimize program.s --hook xdp --iterations 2000
     k2 optimize --benchmark xdp_pktcntr --engine decoded  # engine ablation
     k2 optimize --benchmark sys_enter_open --portfolio    # portfolio solver
+    k2 optimize --benchmark xdp_pktcntr --store verdicts.k2s  # warm start
     k2 check program.s --hook xdp
     k2 corpus --list
+    k2 store verdicts.k2s stats
 """
 
 from __future__ import annotations
@@ -50,7 +52,8 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
                           portfolio=args.portfolio,
                           windowed=args.windowed,
                           window_size=args.window_size,
-                          window_overlap=args.window_overlap)
+                          window_overlap=args.window_overlap,
+                          store=args.store)
     result = compiler.optimize(program)
     print(result.summary())
     print()
@@ -79,6 +82,34 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
         print(f"{bench.paper_index:2d}  {bench.name:20s} {bench.origin:9s} "
               f"{len(program):4d} insns  {bench.description}")
     return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from .store import VerdictStore
+
+    store = VerdictStore(args.path)
+    if args.action == "stats":
+        for field, value in store.stats().items():
+            print(f"{field:22s} {value}")
+        return 0
+    if args.action == "gc":
+        report = store.gc()
+        print(f"compacted {args.path}: {report['lines_before']} -> "
+              f"{report['lines_after']} lines "
+              f"({report['dropped']} dropped, "
+              f"{report['corrupt_dropped']} corrupt)")
+        return 0
+    # verify: nonzero exit on any corruption or a stale/foreign header.
+    report = store.verify()
+    state = "ok" if report["ok"] else "CORRUPT"
+    if not report["exists"]:
+        state = "ok (missing: reads as empty)"
+    elif not report["header_ok"]:
+        state = "STALE (header missing, foreign or old semantics; " \
+                "reads as empty)"
+    print(f"{args.path}: {state} — {report['records']} records, "
+          f"{report['corrupt']} corrupt, {report['skipped']} skipped")
+    return 0 if report["ok"] else 1
 
 
 def main(argv=None) -> int:
@@ -166,6 +197,16 @@ def main(argv=None) -> int:
     optimize.add_argument("--window-overlap", type=int, default=8, metavar="N",
                           help="instructions shared by consecutive windows "
                                "(default: %(default)s)")
+    optimize.add_argument("--store", default=None, metavar="PATH",
+                          help="durable verdict store: preseed the "
+                               "equivalence cache and analyzer memos from "
+                               "PATH before the search and flush new "
+                               "verdicts/counterexamples/memos back at every "
+                               "generation boundary; verdicts learned in one "
+                               "run accelerate every future run on the same "
+                               "program, and warm starts are bit-identical "
+                               "to cold ones (the file is created on first "
+                               "use)")
     optimize.add_argument("--verify-pipeline", default=None, metavar="STAGES",
                           help="comma-separated verification stages to enable, "
                                "in escalation order, from: replay, cache, "
@@ -191,6 +232,16 @@ def main(argv=None) -> int:
 
     corpus = sub.add_parser("corpus", help="list the benchmark corpus")
     corpus.set_defaults(func=_cmd_corpus)
+
+    store = sub.add_parser(
+        "store", help="inspect or maintain a durable verdict store")
+    store.add_argument("path", help="path of the store file")
+    store.add_argument("action", choices=["stats", "gc", "verify"],
+                       help="stats: summarize contents; gc: compact the "
+                            "file (drop corrupt, duplicate and "
+                            "foreign-semantics records); verify: integrity "
+                            "scan, nonzero exit on corruption")
+    store.set_defaults(func=_cmd_store)
 
     args = parser.parse_args(argv)
     if args.command in ("optimize", "check") and not args.program \

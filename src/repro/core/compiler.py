@@ -107,6 +107,15 @@ class CompilationResult:
         if verification:
             lines.append(
                 f"verify:        {summarize_verification_stats(verification)}")
+        store = self.search.store_stats
+        if store:
+            lines.append(
+                f"store:         {store['path']}: "
+                f"{store['preseeded_verdicts']} verdicts + "
+                f"{store['preseeded_analysis']} memos preseeded "
+                f"({self.search.cache_stats.get('store_hits', 0):.0f} "
+                f"cross-run hits), "
+                f"{store['flushed_records']} records flushed")
         windows = self.search.window_stats
         if windows:
             adopted = [w for w in windows if w.adopted]
@@ -147,6 +156,7 @@ class K2Compiler:
                  windowed: bool = False,
                  window_size: int = 24,
                  window_overlap: int = 8,
+                 store: Optional[str] = None,
                  options: Optional[SearchOptions] = None):
         if options is not None and (verify_stages is not None
                                     or equivalence is not None or portfolio):
@@ -159,6 +169,10 @@ class K2Compiler:
                              "window_mode/window_size/window_overlap; set "
                              "them on the SearchOptions instead of the "
                              "windowed/window_* kwargs")
+        if options is not None and store is not None:
+            raise ValueError("an explicit SearchOptions already carries its "
+                             "store_path; set it on the SearchOptions "
+                             "instead of the store kwarg")
         if options is None:
             if equivalence is None:
                 equivalence = EquivalenceOptions.from_stages(verify_stages) \
@@ -184,7 +198,8 @@ class K2Compiler:
                 analysis=analysis,
                 window_mode=windowed,
                 window_size=window_size,
-                window_overlap=window_overlap)
+                window_overlap=window_overlap,
+                store_path=store)
         self.options = options
         self.kernel_checker = KernelChecker(mode=self.options.analysis)
 

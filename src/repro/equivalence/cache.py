@@ -6,19 +6,35 @@ canonicalizes each candidate by removing dead code and caches the outcome of
 equivalence-checking the canonical form, eliminating the vast majority of
 solver calls (93%+ hit rates in Table 6).
 
+Canonicalization itself runs dead-code elimination, which is not free; the
+verification pipeline asks for the same candidate's key twice per query
+(lookup, then store on a miss), and the proposal loop revisits programs.
+:meth:`EquivalenceCache.canonical_key` therefore memoizes keys on
+``program.content_key()`` in a bounded LRU, so the common lookup/insert pair
+performs one elimination pass instead of two.
+
 The cache is also the sharing channel of the parallel multi-chain engine
 (:mod:`repro.synthesis.parallel`): worker chains are seeded with a snapshot
 of the controller's shared entries (:meth:`EquivalenceCache.seed`) and their
 discoveries are merged back between generations
 (:meth:`EquivalenceCache.merge`).  Entries received from another chain are
 tracked as *foreign* so hits on them can be reported separately
-(``cross_chain_hits``), and :meth:`merge` accumulates ``hits``/``misses``
-so the aggregate statistics stay coherent across chains.
+(``cross_chain_hits``); entries preseeded from a durable
+:class:`~repro.store.VerdictStore` are additionally marked via
+:meth:`mark_store_origin` so cross-run reuse shows up as ``store_hits``.
+:meth:`merge` accumulates counters so the aggregate statistics stay coherent
+across chains.
+
+Capacity is explicit: :meth:`store` evicts the oldest entry (insertion
+order) when full and :meth:`seed` drops the overflow, and both paths are
+counted (``evictions`` / ``seed_dropped``) and reported by :meth:`stats` —
+a saturated cache is a tuning signal, not a silent behaviour change.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from collections import OrderedDict
+from typing import Dict, Iterable, Optional, Tuple
 
 from ..bpf.liveness import dead_code_eliminate
 from ..bpf.program import BpfProgram
@@ -30,13 +46,25 @@ __all__ = ["EquivalenceCache"]
 class EquivalenceCache:
     """Maps canonicalized candidate programs to their equivalence verdicts."""
 
+    #: Bound on the canonical-key memo (program content key → canonical
+    #: key).  Sized well above the distinct programs a chain generation
+    #: touches so the hot lookup/store pair always hits.
+    MAX_KEY_MEMO = 16_384
+
     def __init__(self, max_entries: int = 1_000_000):
         self._entries: Dict[Tuple, EquivalenceResult] = {}
         self._foreign: set = set()
+        #: Canonical keys whose entries came from the durable verdict store.
+        self._store_keys: set = set()
+        self._key_memo: "OrderedDict[Tuple, Tuple]" = OrderedDict()
         self._max_entries = max_entries
         self.hits = 0
         self.misses = 0
         self.cross_chain_hits = 0
+        self.store_hits = 0
+        self.evictions = 0
+        self.seed_dropped = 0
+        self.key_memo_hits = 0
 
     # ------------------------------------------------------------------ #
     @staticmethod
@@ -59,22 +87,52 @@ class EquivalenceCache:
             (insn.opcode, insn.dst, insn.src, insn.off, insn.imm, insn.imm64)
             for insn in canonical if not insn.is_nop)
 
+    def canonical_key(self, program: BpfProgram) -> Tuple:
+        """:meth:`canonicalize`, memoized on ``program.content_key()``.
+
+        The memo is keyed on the full content key (instructions + hook +
+        map layout), so two programs can never alias an entry, and bounded
+        LRU so a long search cannot grow it without limit.
+        """
+        memo_key = program.content_key()
+        cached = self._key_memo.get(memo_key)
+        if cached is not None:
+            self._key_memo.move_to_end(memo_key)
+            self.key_memo_hits += 1
+            return cached
+        key = self.canonicalize(program)
+        self._key_memo[memo_key] = key
+        if len(self._key_memo) > self.MAX_KEY_MEMO:
+            self._key_memo.popitem(last=False)
+        return key
+
     # ------------------------------------------------------------------ #
     def lookup(self, program: BpfProgram) -> Optional[EquivalenceResult]:
-        key = self.canonicalize(program)
+        key = self.canonical_key(program)
         result = self._entries.get(key)
         if result is not None:
             self.hits += 1
             if key in self._foreign:
                 self.cross_chain_hits += 1
+            if key in self._store_keys:
+                self.store_hits += 1
         else:
             self.misses += 1
         return result
 
     def store(self, program: BpfProgram, result: EquivalenceResult) -> None:
-        if len(self._entries) >= self._max_entries:
-            return
-        self._entries[self.canonicalize(program)] = result
+        key = self.canonical_key(program)
+        if key not in self._entries and \
+                len(self._entries) >= self._max_entries:
+            # Evict the oldest entry (dict preserves insertion order) so a
+            # long-running search keeps caching recent verdicts instead of
+            # freezing the cache at whatever filled it first.
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+            self._foreign.discard(oldest)
+            self._store_keys.discard(oldest)
+            self.evictions += 1
+        self._entries[key] = result
 
     # ------------------------------------------------------------------ #
     # Cross-chain sharing (parallel search engine).
@@ -95,13 +153,17 @@ class EquivalenceCache:
         snapshot) the inserted keys are tracked so later hits on them count
         as ``cross_chain_hits``.  Keys the cache already holds are left
         untouched, so a chain never sees its own discoveries as foreign.
+
+        Seeding never evicts resident entries: once the cache is full the
+        remaining entries are dropped and counted in ``seed_dropped``.
         Returns the number of entries inserted.
         """
         inserted = 0
         for key, value in entries.items():
-            if len(self._entries) >= self._max_entries:
-                break
             if key in self._entries:
+                continue
+            if len(self._entries) >= self._max_entries:
+                self.seed_dropped += 1
                 continue
             self._entries[key] = value
             if foreign:
@@ -109,21 +171,41 @@ class EquivalenceCache:
             inserted += 1
         return inserted
 
+    def mark_store_origin(self, keys: Iterable[Tuple]) -> None:
+        """Tag resident foreign ``keys`` as loaded from the durable store.
+
+        Hits on tagged keys increment ``store_hits`` (on top of
+        ``cross_chain_hits``), which is what cross-run warm-start
+        accounting reports.  Keys the cache does not hold as foreign are
+        ignored — a chain's own rediscovery of a stored verdict is local.
+        """
+        for key in keys:
+            if key in self._foreign:
+                self._store_keys.add(key)
+
+    def store_origin_keys(self) -> frozenset:
+        """The resident keys currently tagged as store-originated."""
+        return frozenset(self._store_keys)
+
     def merge(self, other: "EquivalenceCache",
               include_counters: bool = True) -> None:
         """Merge a worker cache back into this (controller) cache.
 
         Only the worker's *local* discoveries are unioned in — entries it was
         seeded with are already here.  With ``include_counters`` the worker's
-        ``hits``/``misses``/``cross_chain_hits`` are accumulated so aggregate
-        statistics survive the merge path (each chain's counters would
-        otherwise stay siloed in its own cache object).
+        hit/miss/eviction counters are accumulated so aggregate statistics
+        survive the merge path (each chain's counters would otherwise stay
+        siloed in its own cache object).
         """
         self.seed(other.local_entries(), foreign=False)
         if include_counters:
             self.hits += other.hits
             self.misses += other.misses
             self.cross_chain_hits += other.cross_chain_hits
+            self.store_hits += other.store_hits
+            self.evictions += other.evictions
+            self.seed_dropped += other.seed_dropped
+            self.key_memo_hits += other.key_memo_hits
 
     # ------------------------------------------------------------------ #
     @property
@@ -138,4 +220,8 @@ class EquivalenceCache:
     def stats(self) -> Dict[str, float]:
         return {"hits": self.hits, "misses": self.misses,
                 "cross_chain_hits": self.cross_chain_hits,
+                "store_hits": self.store_hits,
+                "evictions": self.evictions,
+                "seed_dropped": self.seed_dropped,
+                "key_memo_hits": self.key_memo_hits,
                 "entries": self.num_entries, "hit_rate": self.hit_rate}

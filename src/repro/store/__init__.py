@@ -1,0 +1,15 @@
+"""Durable content-addressed persistence of verdicts, tests and memos."""
+
+from .serialize import (
+    canonical_json, decode_key, decode_outcome, decode_result, decode_test,
+    encode_key, encode_outcome, encode_result, encode_test, record_checksum,
+    source_digest,
+)
+from .store import SEMANTICS_VERSION, STORE_FORMAT, VerdictStore
+
+__all__ = ["SEMANTICS_VERSION", "STORE_FORMAT", "VerdictStore",
+           "canonical_json", "record_checksum", "source_digest",
+           "encode_key", "decode_key",
+           "encode_test", "decode_test",
+           "encode_result", "decode_result",
+           "encode_outcome", "decode_outcome"]

@@ -1,0 +1,432 @@
+"""The durable content-addressed verdict store (ROADMAP item 1).
+
+K2's equivalence cache eliminates the vast majority of solver calls within
+one run (paper §5, optimization V), but every run starts cold: proofs,
+counterexamples and safety-analysis memos die with the process.
+:class:`VerdictStore` makes that state durable — a build-cache for
+equivalence proofs — so verdicts learned in one run accelerate every future
+run over the same programs.
+
+Format
+------
+One append-only JSONL file.  The first line is a header stamping the file
+format and the **semantics version** (:data:`SEMANTICS_VERSION`); every
+following line is one record carrying its own checksum:
+
+* ``src``  — declares a source program: content digest → full content key;
+* ``eq``   — one equivalence verdict: (source digest, canonical candidate
+  key) → :class:`~repro.equivalence.EquivalenceResult`;
+* ``cex``  — one counterexample test case discovered against a source;
+* ``an``   — one safety-analysis memo: program content key →
+  :class:`~repro.analysis.AnalysisOutcome`.
+
+Staleness is handled by *versioning the key*, never by trusting mtimes: a
+header whose semantics stamp differs from the running code makes the whole
+file read as empty (and the next flush or ``gc`` rewrites it), and records
+are only ever looked up under exact content keys, so a program edit can
+never alias a stale verdict.
+
+Only **conclusive** verdicts are persisted (proofs of equivalence, or
+non-equivalence with a concrete counterexample).  "Unknown" results —
+solver-budget exhaustion, unencodable candidates — are recomputed fresh
+each run: they are cheap to reproduce when deterministic and may flip under
+a different solver history when not, and skipping them is what keeps a
+warm-started search bit-identical to a cold one.
+
+Durability and concurrency
+--------------------------
+Appends happen under an exclusive ``flock`` on a sidecar lock file, as a
+single buffered write followed by ``fsync``; compaction (``gc``) and
+first-write/stale-rewrite paths write a temporary file and ``os.replace``
+it into place (atomic rename).  Readers never need the lock: a torn
+trailing line fails its JSON parse or checksum and is skipped, costing one
+record, not the file.  Within a synthesis run the write path is
+single-writer by construction — worker chains buffer their discoveries and
+the :class:`~repro.synthesis.parallel.ChainController` merges and flushes
+them at generation boundaries.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.analyzer import AnalysisOutcome
+from ..bpf.program import BpfProgram
+from ..equivalence.checker import EquivalenceResult
+from ..interpreter import ProgramInput
+from .serialize import (
+    decode_key, decode_outcome, decode_result, decode_test, encode_key,
+    encode_outcome, encode_result, encode_test, record_checksum,
+    source_digest,
+)
+
+__all__ = ["SEMANTICS_VERSION", "STORE_FORMAT", "VerdictStore"]
+
+#: Version stamp of the executable semantics the persisted verdicts were
+#: computed under: the interpreter/engines, the SMT encoding and the fused
+#: abstract analyzer.  Bump it whenever any of those change observable
+#: behaviour — every existing store then reads as empty (a cold cache)
+#: instead of replaying verdicts the new semantics might not reproduce.
+SEMANTICS_VERSION = "k2-semantics-1"
+
+#: On-disk container format version (header layout, record framing).
+STORE_FORMAT = 1
+
+
+@contextlib.contextmanager
+def _file_lock(path: str):
+    """Exclusive advisory lock serializing writers of ``path``."""
+    try:
+        import fcntl
+    except ImportError:  # non-POSIX: single-writer discipline only
+        yield
+        return
+    lock_path = path + ".lock"
+    with open(lock_path, "a", encoding="utf-8") as handle:
+        fcntl.flock(handle, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(handle, fcntl.LOCK_UN)
+
+
+class VerdictStore:
+    """Durable, content-addressed store of verdicts, tests and memos."""
+
+    def __init__(self, path, semantics: str = SEMANTICS_VERSION):
+        self.path = str(path)
+        self.semantics = semantics
+        #: source digest → full encoded-then-decoded content key.
+        self._sources: Dict[str, Tuple] = {}
+        #: digests whose declarations ever disagreed (never served).
+        self._collided: set = set()
+        self._verdicts: Dict[str, Dict[Tuple, EquivalenceResult]] = {}
+        self._tests: Dict[str, List[ProgramInput]] = {}
+        self._test_keys: Dict[str, set] = {}
+        #: (strict_alignment, content key) → analysis outcome.
+        self._analysis: Dict[Tuple, AnalysisOutcome] = {}
+        self._pending: List[str] = []
+        self.records_loaded = 0
+        self.corrupt_records = 0
+        self.skipped_records = 0
+        #: Header missing/mismatched: the file reads as empty and the next
+        #: flush (or ``gc``) rewrites it under the current stamps.
+        self.stale = False
+        self.load()
+
+    # ------------------------------------------------------------------ #
+    # Loading
+    # ------------------------------------------------------------------ #
+    def load(self) -> None:
+        """(Re)read the backing file, tolerating corruption and staleness."""
+        self._sources.clear()
+        self._collided.clear()
+        self._verdicts.clear()
+        self._tests.clear()
+        self._test_keys.clear()
+        self._analysis.clear()
+        self.records_loaded = 0
+        self.corrupt_records = 0
+        self.skipped_records = 0
+        self.stale = False
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        if not lines or not self._header_ok(lines[0]):
+            self.stale = True
+            return
+        for line in lines[1:]:
+            if not line.strip():
+                continue
+            self._load_record(line)
+
+    def _header_ok(self, line: str) -> bool:
+        try:
+            header = json.loads(line)
+        except (ValueError, TypeError):
+            return False
+        return (isinstance(header, dict)
+                and header.get("k2store") == STORE_FORMAT
+                and header.get("semantics") == self.semantics)
+
+    def _load_record(self, line: str) -> None:
+        try:
+            record = json.loads(line)
+            if not isinstance(record, dict) \
+                    or record.get("c") != record_checksum(record):
+                raise ValueError("bad checksum")
+            kind = record.get("t")
+            if kind == "src":
+                self._load_source(record)
+            elif kind == "eq":
+                self._load_verdict(record)
+            elif kind == "cex":
+                self._load_counterexample(record)
+            elif kind == "an":
+                self._load_analysis(record)
+            else:
+                # Forward compatibility: a checksum-valid record of an
+                # unknown kind was written by newer code — skip it quietly.
+                self.skipped_records += 1
+                return
+        except (ValueError, TypeError, KeyError):
+            self.corrupt_records += 1
+            return
+        self.records_loaded += 1
+
+    def _load_source(self, record: dict) -> None:
+        digest = record["id"]
+        if source_digest(record["key"]) != digest:
+            raise ValueError("source digest mismatch")
+        key = decode_key(record["key"])
+        known = self._sources.get(digest)
+        if known is not None and known != key:
+            # Two distinct programs claim one digest: serve neither.
+            self._collided.add(digest)
+            self._sources.pop(digest, None)
+            self._verdicts.pop(digest, None)
+            self._tests.pop(digest, None)
+            self._test_keys.pop(digest, None)
+            return
+        if digest not in self._collided:
+            self._sources[digest] = key
+
+    def _load_verdict(self, record: dict) -> None:
+        digest = record["src"]
+        if digest in self._collided:
+            return
+        result = decode_result(record["r"])
+        if result.unknown:
+            raise ValueError("unknown verdicts are never persisted")
+        self._verdicts.setdefault(digest, {})[decode_key(record["key"])] = result
+
+    def _load_counterexample(self, record: dict) -> None:
+        digest = record["src"]
+        if digest in self._collided:
+            return
+        test = decode_test(record["test"])
+        keys = self._test_keys.setdefault(digest, set())
+        frozen = test.freeze_key()
+        if frozen not in keys:
+            keys.add(frozen)
+            self._tests.setdefault(digest, []).append(test)
+
+    def _load_analysis(self, record: dict) -> None:
+        key = (bool(record["strict"]), decode_key(record["key"]))
+        self._analysis[key] = decode_outcome(record["r"])
+
+    # ------------------------------------------------------------------ #
+    # Read API (keyed on exact program content — never on digests alone)
+    # ------------------------------------------------------------------ #
+    def _digest_for(self, source: BpfProgram) -> str:
+        return source_digest(encode_key(source.content_key()))
+
+    def verdicts_for(self, source: BpfProgram
+                     ) -> Dict[Tuple, EquivalenceResult]:
+        """Every persisted verdict against ``source`` (canonical key → result)."""
+        digest = self._digest_for(source)
+        if self._sources.get(digest) != source.content_key():
+            return {}
+        return dict(self._verdicts.get(digest, {}))
+
+    def counterexamples_for(self, source: BpfProgram) -> List[ProgramInput]:
+        """Distinguishing inputs discovered against ``source``, oldest first."""
+        digest = self._digest_for(source)
+        if self._sources.get(digest) != source.content_key():
+            return []
+        return list(self._tests.get(digest, []))
+
+    def analysis_entries(self, strict_alignment: bool = True
+                         ) -> Dict[Tuple, AnalysisOutcome]:
+        """Persisted analyzer program memos (content key → outcome)."""
+        return {key: outcome
+                for (strict, key), outcome in self._analysis.items()
+                if strict == strict_alignment}
+
+    # ------------------------------------------------------------------ #
+    # Write API (buffered; nothing reaches disk until flush())
+    # ------------------------------------------------------------------ #
+    def _queue(self, record: dict) -> None:
+        record["c"] = record_checksum(record)
+        self._pending.append(json.dumps(record, sort_keys=True,
+                                        separators=(",", ":")) + "\n")
+
+    def _declare_source(self, source: BpfProgram) -> Optional[str]:
+        digest = self._digest_for(source)
+        if digest in self._collided:
+            return None
+        key = source.content_key()
+        known = self._sources.get(digest)
+        if known is None:
+            self._sources[digest] = key
+            self._queue({"t": "src", "id": digest,
+                         "key": encode_key(key)})
+        elif known != key:
+            return None
+        return digest
+
+    def record_verdict(self, source: BpfProgram, key: Tuple,
+                       result: EquivalenceResult) -> bool:
+        """Persist one conclusive verdict; returns True when newly adopted."""
+        if result.unknown:
+            return False
+        digest = self._declare_source(source)
+        if digest is None:
+            return False
+        verdicts = self._verdicts.setdefault(digest, {})
+        if key in verdicts:
+            return False
+        verdicts[key] = result
+        self._queue({"t": "eq", "src": digest, "key": encode_key(key),
+                     "r": encode_result(result)})
+        return True
+
+    def record_counterexample(self, source: BpfProgram,
+                              test: ProgramInput) -> bool:
+        digest = self._declare_source(source)
+        if digest is None:
+            return False
+        keys = self._test_keys.setdefault(digest, set())
+        frozen = test.freeze_key()
+        if frozen in keys:
+            return False
+        keys.add(frozen)
+        self._tests.setdefault(digest, []).append(test)
+        self._queue({"t": "cex", "src": digest, "test": encode_test(test)})
+        return True
+
+    def record_analysis(self, content_key: Tuple, outcome: AnalysisOutcome,
+                        strict_alignment: bool = True) -> bool:
+        key = (bool(strict_alignment), content_key)
+        if key in self._analysis:
+            return False
+        self._analysis[key] = outcome
+        self._queue({"t": "an", "strict": bool(strict_alignment),
+                     "key": encode_key(content_key),
+                     "r": encode_outcome(outcome)})
+        return True
+
+    # ------------------------------------------------------------------ #
+    def flush(self) -> int:
+        """Write buffered records to disk; returns the number written.
+
+        Appends under the writer lock when the file is healthy; rewrites
+        the whole file atomically when it is missing or stale (wrong or
+        corrupt header / old semantics stamp).
+        """
+        if not self._pending and not self.stale:
+            return 0
+        written = len(self._pending)
+        with _file_lock(self.path):
+            if self.stale or not os.path.exists(self.path):
+                self._rewrite_locked()
+            else:
+                with open(self.path, "a", encoding="utf-8") as handle:
+                    handle.write("".join(self._pending))
+                    handle.flush()
+                    os.fsync(handle.fileno())
+        self._pending = []
+        self.stale = False
+        return written
+
+    def _snapshot_lines(self) -> List[str]:
+        """Header + every in-memory record, in a deterministic order."""
+        lines = [json.dumps({"k2store": STORE_FORMAT,
+                             "semantics": self.semantics},
+                            sort_keys=True, separators=(",", ":")) + "\n"]
+
+        def emit(record: dict) -> None:
+            record["c"] = record_checksum(record)
+            lines.append(json.dumps(record, sort_keys=True,
+                                    separators=(",", ":")) + "\n")
+
+        for digest in sorted(self._sources):
+            emit({"t": "src", "id": digest,
+                  "key": encode_key(self._sources[digest])})
+            for key, result in self._verdicts.get(digest, {}).items():
+                emit({"t": "eq", "src": digest, "key": encode_key(key),
+                      "r": encode_result(result)})
+            for test in self._tests.get(digest, []):
+                emit({"t": "cex", "src": digest, "test": encode_test(test)})
+        for strict, key in sorted(self._analysis,
+                                  key=lambda k: (k[0], repr(k[1]))):
+            emit({"t": "an", "strict": strict, "key": encode_key(key),
+                  "r": encode_outcome(self._analysis[(strict, key)])})
+        return lines
+
+    def _rewrite_locked(self) -> None:
+        """Atomically replace the file with a clean full snapshot."""
+        tmp_path = self.path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            handle.write("".join(self._snapshot_lines()))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, self.path)
+
+    # ------------------------------------------------------------------ #
+    # Maintenance (the `k2 store` subcommand)
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, object]:
+        num_verdicts = sum(len(v) for v in self._verdicts.values())
+        num_tests = sum(len(t) for t in self._tests.values())
+        equivalent = sum(1 for verdicts in self._verdicts.values()
+                         for result in verdicts.values() if result.equivalent)
+        return {
+            "path": self.path,
+            "format": STORE_FORMAT,
+            "semantics": self.semantics,
+            "size_bytes": os.path.getsize(self.path)
+            if os.path.exists(self.path) else 0,
+            "sources": len(self._sources),
+            "verdicts": num_verdicts,
+            "verdicts_equivalent": equivalent,
+            "verdicts_inequivalent": num_verdicts - equivalent,
+            "counterexamples": num_tests,
+            "analysis_memos": len(self._analysis),
+            "corrupt_records": self.corrupt_records,
+            "stale": self.stale,
+            "pending": len(self._pending),
+        }
+
+    def gc(self) -> Dict[str, int]:
+        """Compact the file: drop corrupt/stale/duplicate records, rewrite.
+
+        Returns how many records were kept and how many lines the rewrite
+        shed (corrupt lines, superseded duplicates, foreign-version bulk).
+        """
+        before = 0
+        if os.path.exists(self.path):
+            with open(self.path, "r", encoding="utf-8") as handle:
+                before = sum(1 for line in handle if line.strip())
+        with _file_lock(self.path):
+            self._rewrite_locked()
+        self._pending = []
+        self.stale = False
+        after = len(self._snapshot_lines())
+        return {"lines_before": before, "lines_after": after,
+                "dropped": max(before - after, 0),
+                "corrupt_dropped": self.corrupt_records}
+
+    def verify(self) -> Dict[str, object]:
+        """Integrity scan of the backing file (no mutation).
+
+        Re-reads the file from disk and reports checksum failures, header
+        problems and record counts; ``ok`` is True only for a fully
+        healthy, current-semantics file (a missing file is healthy: empty).
+        """
+        report = {"path": self.path, "exists": os.path.exists(self.path),
+                  "header_ok": True, "records": 0, "corrupt": 0,
+                  "skipped": 0, "ok": True}
+        if not report["exists"]:
+            return report
+        probe = VerdictStore(self.path, semantics=self.semantics)
+        report["header_ok"] = not probe.stale
+        report["records"] = probe.records_loaded
+        report["corrupt"] = probe.corrupt_records
+        report["skipped"] = probe.skipped_records
+        report["ok"] = report["header_ok"] and probe.corrupt_records == 0
+        return report

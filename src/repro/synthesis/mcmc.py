@@ -55,6 +55,9 @@ class ChainStatistics:
     elapsed_seconds: float = 0.0
     #: Cache hits on entries discovered by *another* chain (parallel engine).
     cross_chain_cache_hits: int = 0
+    #: Cache hits on entries preseeded from the durable verdict store —
+    #: verdicts computed by a *previous run* (cross-run warm start).
+    cross_run_cache_hits: int = 0
     #: Counterexamples received from other chains via the shared pool.
     counterexamples_received: int = 0
     #: Number of ``run()`` calls (generations) this chain has executed.
@@ -204,6 +207,7 @@ class MarkovChain:
         self.stats.elapsed_seconds += time.perf_counter() - started
         self.stats.generations += 1
         self.stats.cross_chain_cache_hits = self.cache.cross_chain_hits
+        self.stats.cross_run_cache_hits = self.cache.store_hits
         self.stats.verification = self.pipeline.stats.as_dict()
         ordered = sorted(self.verified, key=lambda c: c.perf_cost)
         return ChainResult(best=ordered[0] if ordered else None,

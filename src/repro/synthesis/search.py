@@ -83,6 +83,18 @@ class SearchOptions:
     window_size: int = 24
     #: Instructions shared by two consecutive windows.
     window_overlap: int = 8
+    #: Path of the durable cross-run verdict store (the CLI's ``--store``).
+    #: ``None`` keeps the run fully in-memory.  With a store the controller
+    #: preseeds the shared cache and analyzer memos from disk before the
+    #: first generation and flushes fresh discoveries back at every
+    #: generation boundary; stored verdicts replay exactly what the solver
+    #: would recompute, so warm starts are bit-identical to cold runs.
+    store_path: Optional[str] = None
+    #: Also preseed stored counterexamples into every chain's test suite.
+    #: Off by default: extra suite entries change the error cost and hence
+    #: the search trajectory (legitimately — more pruning before any solver
+    #: call — but no longer bit-identical to a cold run).
+    store_preseed_counterexamples: bool = False
 
 
 @dataclasses.dataclass
@@ -119,6 +131,10 @@ class SearchResult:
     #: still be withheld by the kernel-checker filter, in which case
     #: ``best`` is None and ``rejected_by_kernel_checker`` records it.
     stitch_verified: Optional[bool] = None
+    #: Durable verdict-store accounting (``None`` when no store was used):
+    #: path plus preseeded/flushed verdict, counterexample, analysis-memo
+    #: and record counts.
+    store_stats: Optional[Dict[str, object]] = None
 
     @property
     def best_program(self) -> BpfProgram:
@@ -209,7 +225,8 @@ class Synthesizer:
             counterexamples_shared=controller.counterexamples_shared,
             num_generations=controller.num_generations,
             executor_used=controller.executor_kind,
-            verification_stats=verification)
+            verification_stats=verification,
+            store_stats=controller.store_summary)
 
     # ------------------------------------------------------------------ #
     @staticmethod

@@ -46,6 +46,7 @@ from ..bpf.transforms import remove_nops
 from ..engine import create_engine
 from ..equivalence import EquivalenceCache, Window, WindowEquivalenceChecker
 from ..perf.latency_model import DEFAULT_LATENCY_MODEL
+from ..store import VerdictStore
 from ..verification import PipelineStats, VerificationPipeline
 from .cost import performance_cost
 from .mcmc import ChainResult, VerifiedCandidate
@@ -202,6 +203,14 @@ class WindowedScheduler:
         budgets = split_budget(options.iterations_per_chain, len(plan))
 
         current = source
+        # One durable store shared by every window's controller: each
+        # controller preseeds from it (keyed on its own search base) and
+        # flushes its discoveries back, so the file is read once per window
+        # base, written by one controller at a time, and a re-run warm-starts
+        # every window.
+        store = VerdictStore(options.store_path) \
+            if getattr(options, "store_path", None) else None
+        store_stats: Optional[Dict[str, object]] = None
         master_cache = EquivalenceCache()
         #: Distinct counterexamples discovered by any window, replayed into
         #: every later window's controller (valid for every search base:
@@ -228,10 +237,18 @@ class WindowedScheduler:
             controller = ChainController(current, settings, window_options,
                                          proposal_region=window.span,
                                          keep_nops=True,
-                                         collect_all_counterexamples=True)
+                                         collect_all_counterexamples=True,
+                                         store=store)
             controller.preseed_cache(master_cache.export_entries())
             controller.preseed_counterexamples(master_pool)
             results = controller.run()
+            if controller.store_summary is not None:
+                if store_stats is None:
+                    store_stats = dict(controller.store_summary)
+                else:
+                    for field, value in controller.store_summary.items():
+                        if isinstance(value, int):
+                            store_stats[field] += value
             master_cache.merge(controller.shared_cache, include_counters=True)
             for test in controller.pool_entries():
                 key = test.freeze_key()
@@ -284,7 +301,8 @@ class WindowedScheduler:
             executor_used=executor_used,
             verification_stats=verification,
             window_stats=window_stats,
-            stitch_verified=stitch_verified)
+            stitch_verified=stitch_verified,
+            store_stats=store_stats)
 
     # ------------------------------------------------------------------ #
     def _best_candidate(self, results: List[ChainResult]
