@@ -157,13 +157,17 @@ def main(argv=None) -> int:
                                "completion without mid-run sharing")
     optimize.add_argument("--engine", default=DEFAULT_ENGINE_KIND,
                           choices=list(ENGINE_KINDS),
-                          help="candidate execution engine: 'fused' compiles "
+                          help="candidate execution engine: 'batch' runs "
+                               "whole test suites in lockstep over "
+                               "structure-of-arrays machine images (fastest "
+                               "for pooled replay; falls back to fused for "
+                               "small batches), 'fused' compiles "
                                "superinstruction traces per basic-block "
-                               "region (fastest), 'decoded' runs pre-decoded "
+                               "region, 'decoded' runs pre-decoded "
                                "micro-ops with a decode cache and reusable "
                                "machine state, 'legacy' is the reference "
                                "per-step interpreter kept for ablation; all "
-                               "three produce bit-identical results "
+                               "four produce bit-identical results "
                                "(default: %(default)s)")
     optimize.add_argument("--portfolio", action="store_true",
                           help="portfolio equivalence front end: run the "

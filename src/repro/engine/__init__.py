@@ -1,25 +1,32 @@
 """Decode-once batched execution engine for the synthesis hot loop.
 
-The package splits execution into four layers:
+The package splits execution into five layers:
 
 * :mod:`repro.engine.decode` — per-instruction micro-op compilation with an
   instruction memo and an LRU whole-program decode cache;
 * :mod:`repro.engine.fuse` — superinstruction fusion: each basic block
   compiled into one exec'd callable, behind the same cache layers plus a
-  per-block memo;
+  per-block memo, with tiered promotion (decoded tier until a content key
+  recurs, fused blocks after);
+* :mod:`repro.engine.batch` — the lockstep vectorized tier: basic blocks
+  compiled into functions over a structure-of-arrays machine image so one
+  call advances a whole test batch, with warp-style divergence masks and
+  per-lane scalar retirement;
 * :mod:`repro.engine.machine` — machine state allocated once and rewound in
   place between test cases, with per-test reset images backing the batched
   replay fast path;
 * :mod:`repro.engine.engine` — the :class:`ExecutionEngine` /
   :class:`FusedEngine` run loops, the batched ``run_batch`` API and the
   :func:`create_engine` factory behind the ``--engine
-  fused|decoded|legacy`` ablation knob.
+  batch|fused|decoded|legacy`` ablation knob.
 
 Outputs are bit-identical to :class:`repro.interpreter.Interpreter` across
 all engine kinds; the engines only change *when* dispatch and allocation
-work happens.
+work happens — and, for the batch tier, *how many tests* one dispatch
+advances.
 """
 
+from .batch import BatchedEngine
 from .decode import DecodedProgram, MicroOp, ProgramDecoder, compile_instruction
 from .engine import (
     DEFAULT_ENGINE_KIND, ENGINE_KINDS, ExecutionEngine, FusedEngine,
@@ -29,7 +36,8 @@ from .fuse import FusedDecoder, FusedProgram
 from .machine import ResettableMachine
 
 __all__ = [
-    "DecodedProgram", "MicroOp", "ProgramDecoder", "compile_instruction",
-    "DEFAULT_ENGINE_KIND", "ENGINE_KINDS", "ExecutionEngine", "FusedEngine",
-    "create_engine", "FusedDecoder", "FusedProgram", "ResettableMachine",
+    "BatchedEngine", "DecodedProgram", "MicroOp", "ProgramDecoder",
+    "compile_instruction", "DEFAULT_ENGINE_KIND", "ENGINE_KINDS",
+    "ExecutionEngine", "FusedEngine", "create_engine", "FusedDecoder",
+    "FusedProgram", "ResettableMachine",
 ]

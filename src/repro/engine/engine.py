@@ -43,8 +43,8 @@ __all__ = ["ExecutionEngine", "FusedEngine", "create_engine", "ENGINE_KINDS",
            "DEFAULT_ENGINE_KIND"]
 
 #: Engine kinds accepted by :func:`create_engine` and the CLI ``--engine``.
-ENGINE_KINDS = ("fused", "decoded", "legacy")
-DEFAULT_ENGINE_KIND = "fused"
+ENGINE_KINDS = ("batch", "fused", "decoded", "legacy")
+DEFAULT_ENGINE_KIND = "batch"
 
 
 class ExecutionEngine:
@@ -118,6 +118,7 @@ class ExecutionEngine:
     def run_batch(self, program: BpfProgram, tests: Sequence[ProgramInput],
                   stop_on_first_fault: bool = False,
                   expected: Optional[Sequence[ProgramOutput]] = None,
+                  expected_observables: Optional[Sequence[tuple]] = None,
                   ) -> List[ProgramOutput]:
         """Execute ``program`` on every test, decoding once.
 
@@ -130,6 +131,11 @@ class ExecutionEngine:
         from the reference — the replay stage's first-divergence early
         exit.  The divergent output is included, so a returned list shorter
         than ``tests`` pinpoints the refuting index at ``len(result) - 1``.
+
+        ``expected_observables`` is the same early exit against
+        *precomputed* ``ProgramOutput.observable()`` tuples — the replay
+        stage derives them once per counterexample-pool refresh instead of
+        once per candidate.
         """
         decoded = self.decode(program)
         machine = self._machine_for(program)
@@ -142,6 +148,9 @@ class ExecutionEngine:
                 break
             if expected is not None and \
                     output.observable() != expected[index].observable():
+                break
+            if expected_observables is not None and \
+                    output.observable() != expected_observables[index]:
                 break
         return outputs
 
@@ -233,14 +242,39 @@ class FusedEngine(ExecutionEngine):
     Programs whose static jump structure the CFG builder rejects fall back
     to decoded per-instruction execution inside the fusing decoder, so the
     engine accepts exactly the programs the other engines accept.
+
+    ``promote_after`` tunes the decoder's tiered promotion: a program
+    executes through the decoded tier until its ``content_key`` has been
+    decoded that many times, and only then pays block-trace compilation.
+    Synthesis churn (every proposal is a new content key, most die after
+    one replay) stays on the cheap tier; survivors get fused throughput.
+    Pass ``1`` to compile eagerly (the pre-promotion behaviour).
     """
 
     kind = "fused"
     _decoder_class = FusedDecoder
 
+    def __init__(self, step_limit: int = DEFAULT_STEP_LIMIT,
+                 opcode_cost_fn: Optional[Callable[[Instruction], float]] = None,
+                 strict_uninitialized: bool = True,
+                 decode_cache_size: int = 512,
+                 promote_after: Optional[int] = None):
+        super().__init__(step_limit=step_limit,
+                         opcode_cost_fn=opcode_cost_fn,
+                         strict_uninitialized=strict_uninitialized,
+                         decode_cache_size=decode_cache_size)
+        if promote_after is not None:
+            self._decoder.promote_after = promote_after
+
+    def __getstate__(self):
+        state = super().__getstate__()
+        state["promote_after"] = self._decoder.promote_after
+        return state
+
     def run_batch(self, program: BpfProgram, tests: Sequence[ProgramInput],
                   stop_on_first_fault: bool = False,
                   expected: Optional[Sequence[ProgramOutput]] = None,
+                  expected_observables: Optional[Sequence[tuple]] = None,
                   ) -> List[ProgramOutput]:
         decoded = self.decode(program)
         machine = self._machine_for(program)
@@ -254,6 +288,9 @@ class FusedEngine(ExecutionEngine):
                 break
             if expected is not None and \
                     output.observable() != expected[index].observable():
+                break
+            if expected_observables is not None and \
+                    output.observable() != expected_observables[index]:
                 break
         return outputs
 
@@ -311,16 +348,23 @@ def create_engine(kind: Optional[str] = None,
                   opcode_cost_fn: Optional[Callable[[Instruction], float]] = None,
                   strict_uninitialized: bool = True,
                   decode_cache_size: int = 512):
-    """Build an execution engine for the ``--engine fused|decoded|legacy``
-    knob.
+    """Build an execution engine for the ``--engine
+    batch|fused|decoded|legacy`` knob.
 
-    ``None`` (and ``"auto"``) select the fused engine — the fastest tier —
-    while ``"decoded"`` and ``"legacy"`` remain as ablation baselines (the
-    throughput bench gates fused against decoded and decoded against
-    legacy).
+    ``None`` (and ``"auto"``) select the batch engine — the lockstep
+    vectorized tier, which degrades gracefully to fused execution for small
+    batches or hosts without numpy — while ``"fused"``, ``"decoded"`` and
+    ``"legacy"`` remain as ablation baselines (the throughput bench gates
+    each tier against the one below).
     """
     if kind is None or kind == "auto":
         kind = DEFAULT_ENGINE_KIND
+    if kind == "batch":
+        from .batch import BatchedEngine
+        return BatchedEngine(step_limit=step_limit,
+                             opcode_cost_fn=opcode_cost_fn,
+                             strict_uninitialized=strict_uninitialized,
+                             decode_cache_size=decode_cache_size)
     if kind == "fused":
         return FusedEngine(step_limit=step_limit,
                            opcode_cost_fn=opcode_cost_fn,

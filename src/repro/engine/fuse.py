@@ -751,10 +751,22 @@ class FusedProgram:
         return self.num_insns
 
 
+#: Decodes of one ``content_key`` before trace compilation pays for itself.
+#: Synthesis churn kills most proposals after a single pooled replay, so
+#: their first execution runs on the (compilation-free) decoded tier; a
+#: program seen again is likely a survivor and gets fused.
+DEFAULT_PROMOTE_AFTER = 2
+
+
 class FusedDecoder:
     """Compiles programs to fused blocks behind the same two cache layers
     as :class:`~repro.engine.decode.ProgramDecoder`, with a third, block
     -level memo in between so proposal churn only recompiles changed blocks.
+
+    Compilation is *tiered*: the first ``promote_after - 1`` decodes of a
+    content key serve the per-instruction decoded program, and the key is
+    promoted to fused blocks only when it keeps coming back — one-shot
+    proposal churn never pays trace compilation.
     """
 
     def __init__(self, strict_uninitialized: bool = True,
@@ -764,12 +776,19 @@ class FusedDecoder:
         self.strict_uninitialized = strict_uninitialized
         self.opcode_cost_fn = opcode_cost_fn
         self.cache_size = cache_size
+        self.promote_after = DEFAULT_PROMOTE_AFTER
         #: Whole-program LRU: content_key -> FusedProgram | DecodedProgram.
         self._programs: "OrderedDict[tuple, Union[FusedProgram, DecodedProgram]]" = OrderedDict()
+        #: content_key -> decode count, for entries still on the decoded
+        #: tier awaiting promotion.  CFG validation is deferred to the
+        #: promotion point; a CfgError there pins the entry to the decoded
+        #: tier for good (it leaves pending and is counted as a fallback).
+        self._pending: Dict[tuple, int] = {}
         self._blocks: Dict[tuple, BlockFn] = {}
         self._micro_memo: Dict[tuple, MicroOp] = {}
         self._hook_infos: Dict[int, Tuple[Hook, _HookInfo]] = {}
-        #: Decoded-path fallback for programs build_cfg refuses.
+        #: Decoded-path fallback for programs build_cfg refuses (and the
+        #: pre-promotion tier).
         self._fallback = ProgramDecoder(
             strict_uninitialized=strict_uninitialized,
             opcode_cost_fn=opcode_cost_fn, cache_size=cache_size)
@@ -778,6 +797,7 @@ class FusedDecoder:
         self.blocks_compiled = 0
         self.blocks_reused = 0
         self.fallbacks = 0
+        self.promotions = 0
 
     # ------------------------------------------------------------------ #
     def decode(self, program: BpfProgram) -> Union[FusedProgram, DecodedProgram]:
@@ -786,24 +806,52 @@ class FusedDecoder:
         if cached is not None:
             self.program_hits += 1
             self._programs.move_to_end(key)
+            pending = self._pending.get(key)
+            if pending is not None:
+                pending += 1
+                if pending >= self.promote_after:
+                    # The key keeps coming back: promote to fused blocks.
+                    # CFG construction was deferred to this point so that
+                    # one-shot proposals never pay it; a statically broken
+                    # jump structure surfaces here instead and pins the
+                    # program to the decoded tier permanently.
+                    del self._pending[key]
+                    try:
+                        cfg = build_cfg(program.instructions)
+                    except CfgError:
+                        self.fallbacks += 1
+                    else:
+                        cached = self._fuse(program, cfg)
+                        self._programs[key] = cached
+                        self.promotions += 1
+                else:
+                    self._pending[key] = pending
             return cached
         self.program_misses += 1
 
-        instructions = program.instructions
-        try:
-            cfg = build_cfg(instructions)
-        except CfgError:
-            # Statically broken jump structure: such programs still have
-            # defined dynamic behaviour (they fault when the bad edge is
-            # taken), so execute them through the per-instruction path.
-            self.fallbacks += 1
+        if self.promote_after > 1:
+            # First sighting: serve the decoded tier and start the
+            # promotion counter.  No CFG work yet — churn proposals that
+            # never come back must cost exactly a per-instruction decode.
             fused: Union[FusedProgram, DecodedProgram] = \
                 self._fallback.decode(program)
+            self._pending[key] = 1
         else:
-            fused = self._fuse(program, cfg)
+            try:
+                cfg = build_cfg(program.instructions)
+            except CfgError:
+                # Statically broken jump structure: such programs still
+                # have defined dynamic behaviour (they fault when the bad
+                # edge is taken), so execute them through the
+                # per-instruction path.
+                self.fallbacks += 1
+                fused = self._fallback.decode(program)
+            else:
+                fused = self._fuse(program, cfg)
         self._programs[key] = fused
         if len(self._programs) > self.cache_size:
-            self._programs.popitem(last=False)
+            evicted_key, _ = self._programs.popitem(last=False)
+            self._pending.pop(evicted_key, None)
         return fused
 
     def _fuse(self, program: BpfProgram, cfg) -> FusedProgram:
@@ -885,6 +933,8 @@ class FusedDecoder:
             "blocks_compiled": self.blocks_compiled,
             "blocks_reused": self.blocks_reused,
             "fallbacks": self.fallbacks,
+            "promotions": self.promotions,
+            "pending_promotion": len(self._pending),
         }
 
 

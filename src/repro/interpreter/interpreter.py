@@ -100,6 +100,7 @@ class Interpreter:
     def run_batch(self, program: BpfProgram, tests: Sequence[ProgramInput],
                   stop_on_first_fault: bool = False,
                   expected: Optional[Sequence[ProgramOutput]] = None,
+                  expected_observables: Optional[Sequence[tuple]] = None,
                   ) -> List[ProgramOutput]:
         """Execute ``program`` on every test, in order.
 
@@ -108,7 +109,8 @@ class Interpreter:
         ``stop_on_first_fault`` the batch ends after the first faulting
         output (which is included in the returned list); with ``expected``
         it ends after the first output whose ``observable()`` diverges from
-        the aligned reference output.
+        the aligned reference output (``expected_observables`` is the same
+        exit against precomputed ``observable()`` tuples).
         """
         outputs: List[ProgramOutput] = []
         for index, test in enumerate(tests):
@@ -118,6 +120,9 @@ class Interpreter:
                 break
             if expected is not None and \
                     output.observable() != expected[index].observable():
+                break
+            if expected_observables is not None and \
+                    output.observable() != expected_observables[index]:
                 break
         return outputs
 

@@ -104,11 +104,22 @@ class PipelineStats:
             name: StageStats() for name in stage_names}
         self.queries = 0
         self.inconclusive = 0
+        # Adaptive-replay counters: refutations caught by the small scalar
+        # probe vs the full lockstep batch, and how often the pool order
+        # actually differed from insertion order.
+        self.replay_probe_refutes = 0
+        self.replay_batch_refutes = 0
+        self.replay_reorders = 0
 
     def as_dict(self) -> Dict[str, Dict[str, float]]:
         summary = {name: stats.as_dict() for name, stats in self.stages.items()}
-        summary["_pipeline"] = {"queries": self.queries,
-                                "inconclusive": self.inconclusive}
+        summary["_pipeline"] = {
+            "queries": self.queries,
+            "inconclusive": self.inconclusive,
+            "replay_probe_refutes": self.replay_probe_refutes,
+            "replay_batch_refutes": self.replay_batch_refutes,
+            "replay_reorders": self.replay_reorders,
+        }
         return summary
 
     @staticmethod
@@ -147,7 +158,8 @@ class VerificationPipeline:
                  interpreter: Optional[Interpreter] = None,
                  max_pool_size: int = 64,
                  engine=None,
-                 analyzer=None):
+                 analyzer=None,
+                 replay_probe_size: int = 4):
         self.options = options or EquivalenceOptions()
         self.cache = cache if cache is not None else EquivalenceCache()
         #: Fused abstract analyzer backing the static-safety pre-stage; when
@@ -187,10 +199,23 @@ class VerificationPipeline:
         #: Counterexample pool feeding the replay stage, newest last.
         self._pool: List[ProgramInput] = []
         self._pool_keys: set = set()
+        self._pool_key_list: List = []
         self._max_pool_size = max_pool_size
         #: Source outputs for the pool, recomputed when the source changes.
         self._pool_outputs: List[ProgramOutput] = []
+        #: ``observable()`` tuples aligned with ``_pool_outputs`` — derived
+        #: once per pool refresh, not once per candidate.
+        self._pool_observables: List[tuple] = []
         self._pool_source_key = None
+        #: Adaptive replay: per-test refutation counts (keyed by the test's
+        #: freeze key), reset whenever the source program changes.  Tests
+        #: that refuted recent candidates replay first, so the
+        #: first-divergence early exit fires in O(1) expected tests for
+        #: doomed candidates.
+        self._refute_counts: Dict = {}
+        #: How many top-ranked tests the replay stage runs as a scalar
+        #: probe before committing to the full lockstep batch.
+        self.replay_probe_size = replay_probe_size
 
     # ------------------------------------------------------------------ #
     # Counterexample pool
@@ -201,25 +226,55 @@ class VerificationPipeline:
         if key in self._pool_keys or len(self._pool) >= self._max_pool_size:
             return False
         self._pool_keys.add(key)
+        self._pool_key_list.append(key)
         self._pool.append(test)
         # Keep cached source outputs aligned by appending lazily in
-        # replay_entries (invalidate the shorter cache here).
+        # _refresh_pool (invalidate the shorter cache here).
         return True
 
     @property
     def pool_size(self) -> int:
         return len(self._pool)
 
-    def replay_entries(self, source: BpfProgram) -> List[Tuple[ProgramInput, ProgramOutput]]:
-        """(input, source output) pairs for the replay stage."""
+    def record_refutation(self, test: ProgramInput) -> None:
+        """Bump the refutation-frequency rank of a distinguishing input."""
+        key = test.freeze_key()
+        self._refute_counts[key] = self._refute_counts.get(key, 0) + 1
+
+    def _refresh_pool(self, source: BpfProgram) -> None:
         key = source.structural_key()
         if self._pool_source_key != key:
             self._pool_outputs = []
+            self._pool_observables = []
+            self._refute_counts = {}
             self._pool_source_key = key
         missing = self._pool[len(self._pool_outputs):]
         if missing:
-            self._pool_outputs.extend(self.engine.run_batch(source, missing))
+            fresh = self.engine.run_batch(source, missing)
+            self._pool_outputs.extend(fresh)
+            self._pool_observables.extend(
+                output.observable() for output in fresh)
+
+    def replay_entries(self, source: BpfProgram) -> List[Tuple[ProgramInput, ProgramOutput]]:
+        """(input, source output) pairs for the replay stage, pool order."""
+        self._refresh_pool(source)
         return list(zip(self._pool, self._pool_outputs))
+
+    def replay_plan(self, source: BpfProgram) -> Tuple[List[ProgramInput], List[tuple]]:
+        """Pooled tests and their precomputed source observables, ordered
+        by descending refutation frequency (ties keep pool order)."""
+        self._refresh_pool(source)
+        pool = self._pool
+        counts = self._refute_counts
+        if not counts:
+            return list(pool), list(self._pool_observables)
+        keys = self._pool_key_list
+        order = sorted(range(len(pool)),
+                       key=lambda i: (-counts.get(keys[i], 0), i))
+        if any(position != index for position, index in enumerate(order)):
+            self.stats.replay_reorders += 1
+        return ([pool[index] for index in order],
+                [self._pool_observables[index] for index in order])
 
     # ------------------------------------------------------------------ #
     def begin_generation(self) -> None:
@@ -272,5 +327,8 @@ class VerificationPipeline:
             self.cache.store(candidate, final)
         if final.counterexample is not None:
             self.add_counterexample(final.counterexample)
+            # Feed the adaptive replay ordering: this input just refuted a
+            # candidate, whether the replay stage or a solver tier found it.
+            self.record_refutation(final.counterexample)
         return PipelineOutcome(result=final, verdicts=verdicts,
                                concluded_by=concluded_by)

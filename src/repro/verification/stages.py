@@ -146,6 +146,13 @@ class InterpreterReplayStage(VerificationStage):
     inputs, so a handful of interpreter runs can refute them without any
     symbolic work (the Fig. 1 feedback edge, applied inside the pipeline).
 
+    The stage is *adaptive*: the pipeline ranks pooled tests by how often
+    each one refuted a recent candidate (``replay_plan``), a small probe of
+    the top-ranked tests runs first, and only probe survivors pay for the
+    full batch — which the lockstep tier executes vectorized, against
+    observables precomputed once per pool refresh rather than re-derived
+    per candidate.
+
     Inside the search loop this stage is a cheap no-op safeguard: the same
     counterexamples also join the chain's test suite, so candidates reaching
     the pipeline already pass them and the stage escalates after replaying
@@ -160,31 +167,53 @@ class InterpreterReplayStage(VerificationStage):
         return pipeline.options.interpreter_replay
 
     def run(self, pipeline, source, candidate, window) -> StageVerdict:
-        pool = pipeline.replay_entries(source)
-        if not pool:
+        tests, observables = pipeline.replay_plan(source)
+        if not tests:
             return StageVerdict(self.name, StageOutcome.ESCALATE,
                                 detail="empty counterexample pool")
-        tests = [test for test, _ in pool]
-        expected = [output for _, output in pool]
+        probe = pipeline.replay_probe_size
+        if not 0 < probe < len(tests):
+            probe = 0
         try:
-            # One vectorized batch over the whole pool: the candidate is
-            # decoded once, reset images for the pool are shared, and the
-            # ``expected`` reference outputs give the engine a
-            # first-divergence early exit — a short return pinpoints the
-            # refuting test at ``len(got) - 1``.
-            got = pipeline.engine.run_batch(candidate, tests,
-                                            expected=expected)
+            if probe:
+                # Doomed candidates usually fail the most-refuting tests:
+                # a short scalar probe catches them without touching the
+                # rest of the pool.
+                refuting = self._first_divergence(
+                    pipeline, candidate, tests[:probe], observables[:probe])
+                if refuting is not None:
+                    pipeline.stats.replay_probe_refutes += 1
+                    return self._reject(refuting)
+            # One vectorized batch over the remaining pool: the candidate
+            # is decoded once, reset images are shared, and the precomputed
+            # ``observable()`` tuples give the engine a first-divergence
+            # early exit — a short return pinpoints the refuting test.
+            refuting = self._first_divergence(
+                pipeline, candidate, tests[probe:], observables[probe:])
         except Exception as exc:  # broken candidate: let the solver tiers
             return StageVerdict(self.name, StageOutcome.ESCALATE,
                                 detail=f"replay failed: {exc}")
-        last = len(got) - 1
-        if got and got[last].observable() != expected[last].observable():
-            result = EquivalenceResult(
-                equivalent=False, counterexample=tests[last],
-                reason="refuted by pooled counterexample")
-            return StageVerdict(self.name, StageOutcome.REJECT, result)
+        if refuting is not None:
+            pipeline.stats.replay_batch_refutes += 1
+            return self._reject(refuting)
         return StageVerdict(self.name, StageOutcome.ESCALATE,
-                            detail=f"passed {len(pool)} pooled tests")
+                            detail=f"passed {len(tests)} pooled tests")
+
+    @staticmethod
+    def _first_divergence(pipeline, candidate, tests, observables):
+        """The first pooled test ``candidate`` diverges on, or None."""
+        got = pipeline.engine.run_batch(
+            candidate, tests, expected_observables=observables)
+        last = len(got) - 1
+        if got and got[last].observable() != observables[last]:
+            return tests[last]
+        return None
+
+    def _reject(self, refuting) -> StageVerdict:
+        result = EquivalenceResult(
+            equivalent=False, counterexample=refuting,
+            reason="refuted by pooled counterexample")
+        return StageVerdict(self.name, StageOutcome.REJECT, result)
 
 
 class CacheLookupStage(VerificationStage):

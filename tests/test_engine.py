@@ -281,10 +281,11 @@ class TestEngineFactory:
         legacy = create_engine("legacy")
         assert isinstance(legacy, Interpreter)
         assert legacy.kind == "legacy"
-        assert set(ENGINE_KINDS) == {"fused", "decoded", "legacy"}
-        # The default and "auto" select the fused tier.
-        assert create_engine().kind == "fused"
-        assert create_engine("auto").kind == "fused"
+        assert set(ENGINE_KINDS) == {"batch", "fused", "decoded", "legacy"}
+        # The default and "auto" select the lockstep batch tier (which
+        # itself falls back to fused below its minimum batch size).
+        assert create_engine().kind == "batch"
+        assert create_engine("auto").kind == "batch"
 
     def test_unknown_kind_rejected(self):
         with pytest.raises(ValueError):

@@ -18,7 +18,7 @@ from repro.bpf import BpfProgram, HookType, assemble, get_hook
 from repro.bpf.instruction import NOP
 from repro.bpf.maps import MapEnvironment
 from repro.corpus import all_benchmarks, get_benchmark
-from repro.engine import ExecutionEngine, FusedEngine
+from repro.engine import BatchedEngine, ExecutionEngine, FusedEngine
 from repro.interpreter import Interpreter, ProgramInput
 from repro.perf.latency_model import DEFAULT_LATENCY_MODEL
 from repro.synthesis import SearchOptions, Synthesizer
@@ -34,13 +34,21 @@ def prog(text, hook=HookType.XDP, maps=None):
 
 
 def assert_three_way_identical(program, tests, **engine_kwargs):
-    """Legacy, decoded and fused must agree bit for bit on every output."""
+    """Legacy, decoded, fused and batch must agree bit for bit.
+
+    ``promote_after=1`` forces eager trace compilation so the fused code
+    generator (not the pre-promotion decoded tier) is what's compared;
+    ``batch_min_lanes=1`` forces the lockstep tier even for tiny batches.
+    """
     outputs = {
         "legacy": Interpreter(**engine_kwargs).run_batch(program, tests),
         "decoded": ExecutionEngine(**engine_kwargs).run_batch(program, tests),
-        "fused": FusedEngine(**engine_kwargs).run_batch(program, tests),
+        "fused": FusedEngine(promote_after=1,
+                             **engine_kwargs).run_batch(program, tests),
+        "batch": BatchedEngine(promote_after=1, batch_min_lanes=1,
+                               **engine_kwargs).run_batch(program, tests),
     }
-    for kind in ("decoded", "fused"):
+    for kind in ("decoded", "fused", "batch"):
         for test, a, b in zip(tests, outputs["legacy"], outputs[kind]):
             assert output_fingerprint(a) == output_fingerprint(b), (
                 f"{kind} diverges from legacy on {program.name}:\n"
@@ -84,7 +92,9 @@ class TestFusedDifferentialFuzz:
         checked = 0
         faults_seen = set()
         engines = {"legacy": Interpreter(), "decoded": ExecutionEngine(),
-                   "fused": FusedEngine()}
+                   "fused": FusedEngine(promote_after=1),
+                   "batch": BatchedEngine(promote_after=1,
+                                          batch_min_lanes=1)}
         for name in names:
             source = get_benchmark(name).program()
             proposer = ProposalGenerator(source, rng)
@@ -96,7 +106,7 @@ class TestFusedDifferentialFuzz:
                 candidate = source.with_instructions(current)
                 outputs = {kind: engine.run_batch(candidate, tests)
                            for kind, engine in engines.items()}
-                for kind in ("decoded", "fused"):
+                for kind in ("decoded", "fused", "batch"):
                     for a, b in zip(outputs["legacy"], outputs[kind]):
                         assert output_fingerprint(a) == \
                             output_fingerprint(b), (
@@ -163,9 +173,38 @@ class TestFuseCache:
         stats = engine.stats()
         assert stats["program_misses"] == 1
         assert stats["program_hits"] == 1
+        # Default tiered promotion: the first decode served the decoded
+        # tier, the second promoted to fused blocks.
+        assert stats["promotions"] == 1
+        assert stats["pending_promotion"] == 0
+
+    def test_promotion_threshold_defers_compilation(self):
+        engine = FusedEngine(promote_after=3)
+        program = get_benchmark("xdp_exception").program()
+        tests = InputGenerator(program, seed=3).generate(4)
+        baseline = Interpreter().run_batch(program, tests)
+        for round_index in range(4):
+            outputs = engine.run_batch(program, tests)
+            for a, b in zip(baseline, outputs):
+                assert output_fingerprint(a) == output_fingerprint(b)
+            stats = engine.stats()
+            if round_index < 2:
+                assert stats["blocks_compiled"] == 0
+                assert stats["promotions"] == 0
+            else:
+                assert stats["blocks_compiled"] > 0
+                assert stats["promotions"] == 1
+
+    def test_eager_promotion_compiles_first_decode(self):
+        engine = FusedEngine(promote_after=1)
+        program = get_benchmark("xdp_exception").program()
+        engine.run(program, InputGenerator(program, seed=3).generate_one())
+        stats = engine.stats()
+        assert stats["blocks_compiled"] > 0
+        assert stats["promotions"] == 0
 
     def test_mutated_window_reuses_unchanged_blocks(self):
-        engine = FusedEngine()
+        engine = FusedEngine(promote_after=1)
         program = get_benchmark("xdp_exception").program()
         test = InputGenerator(program, seed=3).generate_one()
         engine.run(program, test)
@@ -176,14 +215,21 @@ class TestFuseCache:
         assert engine.stats()["blocks_reused"] > reused_before
 
     def test_broken_jump_structure_falls_back_to_decoded(self):
-        # A statically out-of-range jump: build_cfg refuses it, the fused
-        # decoder takes the per-instruction fallback, and the dynamic fault
-        # stays identical across engines.
+        # A statically out-of-range jump: CFG validation is deferred to the
+        # promotion point, so the first run serves the decoded tier like any
+        # fresh proposal; the promotion attempt hits the CfgError, pins the
+        # program to the decoded tier for good and counts the fallback.
+        # Dynamic faults stay identical across engines throughout.
         broken = prog("mov64 r0, 0\nja 100\nexit")
         test = ProgramInput(packet=bytes(64))
         engine = FusedEngine()
         assert_three_way_identical(broken, [test])
         engine.run(broken, test)
+        assert engine.stats()["fallbacks"] == 0  # decoded tier, no CFG yet
+        engine.run(broken, test)  # promotion attempt fails on build_cfg
+        assert engine.stats()["fallbacks"] == 1
+        assert engine.stats()["promotions"] == 0
+        engine.run(broken, test)  # pinned: no second promotion attempt
         assert engine.stats()["fallbacks"] == 1
 
 
