@@ -1,0 +1,175 @@
+"""Service smoke: the ``k2 serve`` daemon under worker loss + warm resubmit.
+
+Drives a real daemon subprocess the way an operator would:
+
+* start ``k2 serve`` on a fresh state directory;
+* submit two corpus jobs (the daemon runs them back to back, each sharded
+  over a two-worker process pool);
+* SIGKILL one pool worker while the first job is running — the controller
+  must rebuild the pool, replay the generation from its seeded snapshot
+  and surface the retry, without changing the result;
+* gate that **both** jobs finish ``done``;
+* resubmit the first job's spec against the daemon's (now warm) shared
+  verdict store and gate that the rerun is faster and actually hits the
+  store.
+
+Environment knobs: ``K2_BENCH_SMOKE=1`` shrinks the iteration budget for
+CI smoke runs; ``K2_BENCH_JSON=path`` writes a JSON summary (the
+``BENCH_*.json`` perf trajectory).
+"""
+
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+import repro
+from repro.service import DaemonClient, DaemonUnavailable, JobSpec
+
+SMOKE = os.environ.get("K2_BENCH_SMOKE", "") not in ("", "0")
+ITERATIONS = 300 if SMOKE else 600
+SYNC_INTERVAL = 50
+NUM_SETTINGS = 2
+NUM_WORKERS = 2
+SEED = 7
+JSON_PATH = os.environ.get("K2_BENCH_JSON", "")
+
+WARM_WALL_CLOCK_GATE = 1.1  # daemon overhead dilutes the raw store ratio
+
+JOBS = ["xdp_pktcntr", "xdp_exception"]
+
+
+def _spec(benchmark):
+    return JobSpec(benchmark=benchmark, iterations=ITERATIONS,
+                   settings=NUM_SETTINGS, seed=SEED,
+                   sync_interval=SYNC_INTERVAL, num_workers=NUM_WORKERS,
+                   executor="process")
+
+
+def _start_daemon(state_dir):
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--state", state_dir],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.STDOUT)
+    client = DaemonClient(state_dir)
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        try:
+            client.ping()
+            return process, client
+        except DaemonUnavailable:
+            time.sleep(0.05)
+    raise RuntimeError("daemon did not come up")
+
+
+def _pool_workers(daemon_pid):
+    """Direct children of the daemon that look like pool workers."""
+    workers = []
+    for entry in os.listdir("/proc"):
+        if not entry.isdigit():
+            continue
+        try:
+            with open(f"/proc/{entry}/stat", "r", encoding="utf-8") as handle:
+                fields = handle.read().rsplit(")", 1)[1].split()
+            if int(fields[1]) != daemon_pid:  # ppid
+                continue
+            with open(f"/proc/{entry}/cmdline", "rb") as handle:
+                cmdline = handle.read().decode("utf-8", "replace")
+        except (OSError, IndexError, ValueError):
+            continue
+        if "tracker" in cmdline:  # multiprocessing's resource tracker
+            continue
+        workers.append(int(entry))
+    return workers
+
+
+def _kill_one_worker(daemon_pid, timeout=60):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        workers = _pool_workers(daemon_pid)
+        if workers:
+            os.kill(workers[0], signal.SIGKILL)
+            return workers[0]
+        time.sleep(0.05)
+    raise RuntimeError("no pool worker appeared to kill")
+
+
+def test_service_worker_loss_and_warm_resubmit():
+    state_dir = tempfile.mkdtemp(prefix="k2-serve-bench-")
+    process = None
+    try:
+        process, client = _start_daemon(state_dir)
+
+        first, second = (client.submit(_spec(name)) for name in JOBS)
+        killed_pid = _kill_one_worker(process.pid)
+        print(f"SIGKILLed pool worker {killed_pid} of daemon {process.pid}")
+
+        jobs = {job_id: client.wait(job_id, timeout=600)
+                for job_id in (first, second)}
+        for job_id, job in jobs.items():
+            assert job["state"] == "done", (
+                f"job {job_id} finished {job['state']!r}: {job['error']}")
+        retries = jobs[first]["result"]["worker_retries"] \
+            + jobs[second]["result"]["worker_retries"]
+        assert retries >= 1, (
+            "the killed worker should have cost at least one supervised "
+            "generation retry")
+
+        # Resubmit the first spec: same search against the now-warm store.
+        rerun_id = client.submit(_spec(JOBS[0]))
+        rerun = client.wait(rerun_id, timeout=600)
+        assert rerun["state"] == "done"
+
+        cold, warm = jobs[first]["result"], rerun["result"]
+        assert warm["best_digest"] == cold["best_digest"], (
+            "the warm store changed what the search found")
+        store_hits = warm["cache"].get("store_hits", 0)
+        assert store_hits > 0, "warm resubmit never hit the verdict store"
+        ratio = cold["elapsed_seconds"] / max(warm["elapsed_seconds"], 1e-9)
+
+        print(f"jobs: {len(jobs)} done, {retries} worker retries")
+        print(f"warm resubmit: {cold['elapsed_seconds']:.2f}s -> "
+              f"{warm['elapsed_seconds']:.2f}s ({ratio:.2f}x, gate >= "
+              f"{WARM_WALL_CLOCK_GATE:.1f}x), {store_hits:.0f} store hits")
+
+        if JSON_PATH:
+            payload = {"bench": "service_resume", "smoke": SMOKE,
+                       "iterations": ITERATIONS,
+                       "sync_interval": SYNC_INTERVAL,
+                       "num_settings": NUM_SETTINGS,
+                       "num_workers": NUM_WORKERS, "seed": SEED,
+                       "worker_retries": retries,
+                       "cold_seconds": round(cold["elapsed_seconds"], 3),
+                       "warm_seconds": round(warm["elapsed_seconds"], 3),
+                       "warm_ratio": round(ratio, 3),
+                       "store_hits": store_hits,
+                       "jobs": [{"id": job_id,
+                                 "benchmark": job["spec"]["benchmark"],
+                                 "best_insns": job["result"]["best_insns"],
+                                 "source_insns":
+                                     job["result"]["source_insns"],
+                                 "worker_retries":
+                                     job["result"]["worker_retries"]}
+                                for job_id, job in jobs.items()]}
+            with open(JSON_PATH, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=1)
+            print(f"wrote {JSON_PATH}")
+
+        assert ratio >= WARM_WALL_CLOCK_GATE, (
+            f"warm resubmit should be >= {WARM_WALL_CLOCK_GATE:.1f}x faster, "
+            f"got {ratio:.2f}x")
+
+        client.shutdown()
+        assert process.wait(timeout=15) == 0
+        process = None
+    finally:
+        if process is not None and process.poll() is None:
+            process.kill()
+            process.wait(timeout=10)
+        shutil.rmtree(state_dir, ignore_errors=True)

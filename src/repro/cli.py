@@ -1,4 +1,4 @@
-"""Command-line interface: ``k2 optimize``, ``k2 check``, ``k2 bench-list``.
+"""Command-line interface: ``k2 optimize``, ``k2 check``, ``k2 serve``, ...
 
 Examples::
 
@@ -9,11 +9,23 @@ Examples::
     k2 check program.s --hook xdp
     k2 corpus --list
     k2 store verdicts.k2s stats
+    k2 serve --state .k2d                 # start the job daemon
+    k2 submit --state .k2d --benchmark xdp_pktcntr --wait
+    k2 status --state .k2d j0001
+    k2 result --state .k2d j0001
+
+Every command flushes open verdict stores and exits with status 130 on
+SIGINT/SIGTERM, so an interrupted warm-started run never loses buffered
+verdicts.  ``k2 serve`` upgrades that to a graceful daemon shutdown:
+in-flight jobs stop at their next (checkpointed) generation boundary and
+resume when the daemon restarts.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import signal
 import sys
 
 from .bpf import BpfProgram, HookType, assemble, get_hook
@@ -53,7 +65,8 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
                           windowed=args.windowed,
                           window_size=args.window_size,
                           window_overlap=args.window_overlap,
-                          store=args.store)
+                          store=args.store,
+                          conflict_budget=args.conflict_budget)
     result = compiler.optimize(program)
     print(result.summary())
     print()
@@ -110,6 +123,85 @@ def _cmd_store(args: argparse.Namespace) -> int:
     print(f"{args.path}: {state} — {report['records']} records, "
           f"{report['corrupt']} corrupt, {report['skipped']} skipped")
     return 0 if report["ok"] else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import K2Daemon
+
+    daemon = K2Daemon(args.state,
+                      max_job_attempts=args.max_job_attempts)
+    print(f"k2 daemon: state dir {daemon.state_dir}, "
+          f"{len(daemon.queue.jobs())} journaled jobs", flush=True)
+    return daemon.serve_forever()
+
+
+def _client(args: argparse.Namespace):
+    from .service import DaemonClient
+
+    return DaemonClient(args.state)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .service import JobSpec
+
+    program_text = None
+    if args.program:
+        with open(args.program, "r", encoding="utf-8") as handle:
+            program_text = handle.read()
+    spec = JobSpec(benchmark=args.benchmark, program_text=program_text,
+                   hook=args.hook, goal=args.goal,
+                   iterations=args.iterations, settings=args.settings,
+                   seed=args.seed, sync_interval=args.sync_interval,
+                   num_workers=args.num_workers, executor=args.executor,
+                   engine=args.engine, analysis=args.analysis,
+                   windowed=args.windowed, window_size=args.window_size,
+                   window_overlap=args.window_overlap,
+                   conflict_budget=args.conflict_budget)
+    client = _client(args)
+    job_id = client.submit(spec)
+    print(job_id, flush=True)
+    if args.wait:
+        job = client.wait(job_id, timeout=args.timeout)
+        print(json.dumps(job, indent=2, sort_keys=True))
+        return 0 if job["state"] == "done" else 1
+    return 0
+
+
+def _cmd_job_query(args: argparse.Namespace) -> int:
+    client = _client(args)
+    if args.command == "status":
+        job = client.status(args.job)
+    elif args.command == "result":
+        job = client.wait(args.job, timeout=args.timeout) if args.wait \
+            else client.result(args.job)
+    else:  # cancel
+        job = client.cancel(args.job)
+    print(json.dumps(job, indent=2, sort_keys=True))
+    if args.command == "result":
+        return 0 if job["state"] == "done" else 1
+    return 0
+
+
+def _cmd_jobs(args: argparse.Namespace) -> int:
+    for job in _client(args).jobs():
+        progress = job.get("progress") or {}
+        gen = f"{progress.get('generation', '-')}/{progress.get('total', '-')}"
+        target = job["spec"].get("benchmark") or "<submitted>"
+        print(f"{job['id']}  {job['state']:9s} {gen:>7s}  {target}")
+    return 0
+
+
+def _cmd_shutdown(args: argparse.Namespace) -> int:
+    response = _client(args).shutdown()
+    print(json.dumps(response, sort_keys=True))
+    return 0 if response.get("ok") else 1
+
+
+def _add_state_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--state", default=".k2d", metavar="DIR",
+                        help="daemon state directory: socket, job journal "
+                             "and shared verdict store live here "
+                             "(default: %(default)s)")
 
 
 def main(argv=None) -> int:
@@ -211,6 +303,14 @@ def main(argv=None) -> int:
                                "program, and warm starts are bit-identical "
                                "to cold ones (the file is created on first "
                                "use)")
+    optimize.add_argument("--conflict-budget", type=int, default=None,
+                          metavar="N",
+                          help="per-query solver conflict budget "
+                               "(Solver.set_conflict_budget): an SMT query "
+                               "that exhausts it degrades to 'unknown' and "
+                               "the pipeline escalates, so one pathological "
+                               "candidate cannot hang the search; omit for "
+                               "the library default")
     optimize.add_argument("--verify-pipeline", default=None, metavar="STAGES",
                           help="comma-separated verification stages to enable, "
                                "in escalation order, from: replay, cache, "
@@ -247,11 +347,83 @@ def main(argv=None) -> int:
                             "scan, nonzero exit on corruption")
     store.set_defaults(func=_cmd_store)
 
+    serve = sub.add_parser(
+        "serve", help="run the long-lived synthesis job daemon")
+    _add_state_arg(serve)
+    serve.add_argument("--max-job-attempts", type=int, default=3, metavar="N",
+                       help="times a crashing job is retried before it is "
+                            "marked failed (default: %(default)s)")
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit an optimization job to a running daemon")
+    _add_state_arg(submit)
+    submit.add_argument("program", nargs="?",
+                        help="path to a .s assembly file")
+    submit.add_argument("--benchmark", metavar="NAME",
+                        help="submit a corpus benchmark instead of a file")
+    submit.add_argument("--hook", default="xdp",
+                        choices=[h.value for h in HookType])
+    submit.add_argument("--goal", default="size",
+                        choices=["size", "latency"])
+    submit.add_argument("--iterations", type=int, default=2000, metavar="N")
+    submit.add_argument("--settings", type=int, default=4, metavar="K")
+    submit.add_argument("--seed", type=int, default=0, metavar="SEED")
+    submit.add_argument("--sync-interval", type=int, default=250,
+                        metavar="N",
+                        help="generation length; the daemon checkpoints at "
+                             "every boundary, so this bounds the work a "
+                             "crash can lose (default: %(default)s)")
+    submit.add_argument("--num-workers", type=int, default=1, metavar="N")
+    submit.add_argument("--executor", default="auto",
+                        choices=["auto", "serial", "process", "thread"])
+    submit.add_argument("--engine", default=DEFAULT_ENGINE_KIND,
+                        choices=list(ENGINE_KINDS))
+    submit.add_argument("--analysis", default="fused",
+                        choices=["fused", "legacy"])
+    submit.add_argument("--windowed", action="store_true")
+    submit.add_argument("--window-size", type=int, default=24, metavar="N")
+    submit.add_argument("--window-overlap", type=int, default=8, metavar="N")
+    submit.add_argument("--conflict-budget", type=int, default=None,
+                        metavar="N",
+                        help="per-query solver conflict budget; hung SMT "
+                             "queries degrade to 'unknown' (default: "
+                             "library default)")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the job is terminal and print its "
+                             "result record")
+    submit.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                        help="give up waiting after SEC seconds (the job "
+                             "keeps running)")
+    submit.set_defaults(func=_cmd_submit)
+
+    for name, helptext in (("status", "show a job's queue state"),
+                           ("result", "show a job's full record incl. result"),
+                           ("cancel", "cancel a queued or running job")):
+        query = sub.add_parser(name, help=helptext)
+        _add_state_arg(query)
+        query.add_argument("job", help="job id, e.g. j0001")
+        if name == "result":
+            query.add_argument("--wait", action="store_true",
+                               help="block until the job is terminal")
+            query.add_argument("--timeout", type=float, default=None,
+                               metavar="SEC")
+        query.set_defaults(func=_cmd_job_query)
+
+    jobs = sub.add_parser("jobs", help="list the daemon's jobs")
+    _add_state_arg(jobs)
+    jobs.set_defaults(func=_cmd_jobs)
+
+    shutdown = sub.add_parser(
+        "shutdown", help="ask the daemon to shut down gracefully")
+    _add_state_arg(shutdown)
+    shutdown.set_defaults(func=_cmd_shutdown)
+
     args = parser.parse_args(argv)
-    if args.command in ("optimize", "check") and not args.program \
+    if args.command in ("optimize", "check", "submit") and not args.program \
             and not args.benchmark:
         parser.error("provide a program file or --benchmark NAME")
-    if args.command == "optimize" and (
+    if args.command in ("optimize", "submit") and (
             args.window_size < 2
             or not 0 <= args.window_overlap < args.window_size):
         parser.error("--window-size must be >= 2 and --window-overlap must "
@@ -261,7 +433,46 @@ def main(argv=None) -> int:
             EquivalenceOptions.from_stages(args.verify_pipeline)
         except ValueError as exc:
             parser.error(str(exc))
-    return args.func(args)
+    return _dispatch(args)
+
+
+def _raise_interrupt(signum, frame):  # pragma: no cover - signal path
+    raise KeyboardInterrupt
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    """Run the selected command with interrupt-safe store flushing.
+
+    SIGINT and SIGTERM both land here as :class:`KeyboardInterrupt`: any
+    buffered verdict-store records are flushed before exiting 130, so an
+    interrupted warm-started run keeps everything it learned.  ``k2 serve``
+    installs its own graceful handlers once the daemon starts, which
+    supersede this wrapper's.
+    """
+    try:
+        signal.signal(signal.SIGTERM, _raise_interrupt)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    service_commands = ("submit", "status", "result", "cancel", "jobs",
+                        "shutdown")
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        from .store import flush_open_stores
+
+        flushed = flush_open_stores()
+        note = f" ({flushed} store records flushed)" if flushed else ""
+        print(f"k2 {args.command}: interrupted{note}", file=sys.stderr)
+        return 130
+    except Exception as exc:
+        if args.command in service_commands:
+            from .service import DaemonUnavailable
+
+            if isinstance(exc, (DaemonUnavailable, ValueError,
+                                TimeoutError)):
+                print(f"k2 {args.command}: {exc}", file=sys.stderr)
+                return 2
+        raise
 
 
 if __name__ == "__main__":  # pragma: no cover

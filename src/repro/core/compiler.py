@@ -157,9 +157,11 @@ class K2Compiler:
                  window_size: int = 24,
                  window_overlap: int = 8,
                  store: Optional[str] = None,
+                 conflict_budget: Optional[int] = None,
                  options: Optional[SearchOptions] = None):
         if options is not None and (verify_stages is not None
-                                    or equivalence is not None or portfolio):
+                                    or equivalence is not None or portfolio
+                                    or conflict_budget is not None):
             raise ValueError("an explicit SearchOptions already carries its "
                              "EquivalenceOptions; do not combine options with "
                              "verify_stages/equivalence/portfolio")
@@ -182,6 +184,13 @@ class K2Compiler:
                     "pass either verify_stages or equivalence, not both")
             if portfolio:
                 equivalence.portfolio = True
+            if conflict_budget is not None:
+                # Per-query solver deadline (Solver.set_conflict_budget): a
+                # hung SMT query degrades to `unknown` instead of stalling.
+                if conflict_budget <= 0:
+                    raise ValueError("conflict_budget must be positive")
+                equivalence = dataclasses.replace(
+                    equivalence, max_conflicts=int(conflict_budget))
             options = SearchOptions(
                 goal=goal,
                 iterations_per_chain=iterations_per_chain,

@@ -208,6 +208,46 @@ class EquivalenceCache:
             self.key_memo_hits += other.key_memo_hits
 
     # ------------------------------------------------------------------ #
+    # Checkpointing (crash-recoverable chains; repro.synthesis.checkpoint)
+    # ------------------------------------------------------------------ #
+    def snapshot_state(self) -> Dict[str, object]:
+        """Complete cache state as plain Python data, for checkpoints.
+
+        Entries are listed in insertion order (the eviction order), each
+        with its provenance flags, so :meth:`restore_state` reconstructs a
+        cache whose future hits, evictions and hit counters are exactly
+        those the original object would have produced.  The canonical-key
+        memo is deliberately excluded: it is a pure-speed device whose only
+        observable is the ``key_memo_hits`` counter.
+        """
+        return {
+            "entries": [(key, result, key in self._foreign,
+                         key in self._store_keys)
+                        for key, result in self._entries.items()],
+            "max_entries": self._max_entries,
+            "counters": {"hits": self.hits, "misses": self.misses,
+                         "cross_chain_hits": self.cross_chain_hits,
+                         "store_hits": self.store_hits,
+                         "evictions": self.evictions,
+                         "seed_dropped": self.seed_dropped,
+                         "key_memo_hits": self.key_memo_hits},
+        }
+
+    @classmethod
+    def restore_state(cls, state: Dict[str, object]) -> "EquivalenceCache":
+        """Rebuild a cache from a :meth:`snapshot_state` snapshot."""
+        cache = cls(max_entries=int(state["max_entries"]))
+        for key, result, foreign, from_store in state["entries"]:
+            cache._entries[key] = result
+            if foreign:
+                cache._foreign.add(key)
+            if from_store:
+                cache._store_keys.add(key)
+        for name, value in state["counters"].items():
+            setattr(cache, name, int(value))
+        return cache
+
+    # ------------------------------------------------------------------ #
     @property
     def num_entries(self) -> int:
         return len(self._entries)

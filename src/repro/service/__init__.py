@@ -1,0 +1,28 @@
+"""Synthesis-as-a-service: the ``k2 serve`` daemon (ROADMAP item 1).
+
+The package turns the one-shot search pipeline into a long-lived local
+service:
+
+* :mod:`repro.service.protocol` — newline-delimited JSON over a local
+  socket (``AF_UNIX`` where available, loopback TCP elsewhere);
+* :mod:`repro.service.jobs` — job specs, states and the journaled queue
+  that survives daemon restarts;
+* :mod:`repro.service.daemon` — :class:`K2Daemon`: the scheduler loop, the
+  request server, worker supervision and graceful shutdown;
+* :mod:`repro.service.client` — :class:`DaemonClient`: what the
+  ``k2 submit|status|result|cancel`` subcommands talk through.
+
+Fault tolerance is layered on the checkpointed controller
+(:mod:`repro.synthesis.checkpoint`): every job runs with
+``checkpoint_key=job id`` against the daemon's shared verdict store, so a
+SIGKILL'd worker costs one generation retry, a killed daemon resumes every
+in-flight job from its last generation boundary on restart, and both paths
+produce results bit-identical to an uninterrupted run.
+"""
+
+from .client import DaemonClient, DaemonUnavailable
+from .daemon import K2Daemon
+from .jobs import Job, JobQueue, JobSpec, JOB_STATES
+
+__all__ = ["DaemonClient", "DaemonUnavailable", "K2Daemon",
+           "Job", "JobQueue", "JobSpec", "JOB_STATES"]

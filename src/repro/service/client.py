@@ -1,0 +1,98 @@
+"""Client side of the serve protocol: what ``k2 submit`` etc. talk through."""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+from . import protocol
+from .jobs import JobSpec
+
+__all__ = ["DaemonClient", "DaemonUnavailable"]
+
+
+class DaemonUnavailable(Exception):
+    """No daemon is listening on the state directory's socket."""
+
+
+class DaemonClient:
+    """One-request-per-connection client for a :class:`K2Daemon`.
+
+    Stateless: each call opens a fresh connection, so a client object can
+    outlive daemon restarts.
+    """
+
+    def __init__(self, state_dir: str, timeout: float = 10.0):
+        self.state_dir = str(state_dir)
+        self.timeout = timeout
+
+    def request(self, payload: dict) -> dict:
+        try:
+            sock = protocol.connect(self.state_dir, timeout=self.timeout)
+        except OSError as exc:
+            raise DaemonUnavailable(
+                f"no k2 daemon at {self.state_dir!r} ({exc})") from exc
+        try:
+            with sock:
+                protocol.send_message(sock, payload)
+                response = protocol.recv_message(sock)
+        except (OSError, ValueError) as exc:
+            raise DaemonUnavailable(
+                f"k2 daemon at {self.state_dir!r} dropped the "
+                f"connection ({exc})") from exc
+        if response is None:
+            raise DaemonUnavailable(
+                f"k2 daemon at {self.state_dir!r} closed without replying")
+        return response
+
+    # ------------------------------------------------------------------ #
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def submit(self, spec: JobSpec) -> str:
+        response = self.request({"op": "submit", "spec": spec.to_dict()})
+        if not response.get("ok"):
+            raise ValueError(response.get("error") or "submit rejected")
+        return str(response["job"])
+
+    def status(self, job_id: str) -> dict:
+        return self._job_request("status", job_id)
+
+    def result(self, job_id: str) -> dict:
+        return self._job_request("result", job_id)
+
+    def cancel(self, job_id: str) -> dict:
+        return self._job_request("cancel", job_id)
+
+    def jobs(self) -> List[dict]:
+        response = self.request({"op": "jobs"})
+        if not response.get("ok"):
+            raise ValueError(response.get("error") or "jobs query failed")
+        return list(response.get("jobs") or [])
+
+    def shutdown(self) -> dict:
+        return self.request({"op": "shutdown"})
+
+    def _job_request(self, op: str, job_id: str) -> dict:
+        response = self.request({"op": op, "job": str(job_id)})
+        if not response.get("ok"):
+            raise ValueError(response.get("error") or f"{op} failed")
+        return dict(response["job"])
+
+    # ------------------------------------------------------------------ #
+    def wait(self, job_id: str, timeout: Optional[float] = None,
+             poll: float = 0.2) -> dict:
+        """Poll until the job is terminal; returns its ``result``-shaped dict.
+
+        Raises :class:`TimeoutError` if ``timeout`` elapses first (the job
+        keeps running — waiting is observation, not control).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            job = self.result(job_id)
+            if job["state"] in ("done", "failed", "cancelled"):
+                return job
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {job['state']} after {timeout}s")
+            time.sleep(poll)

@@ -1,0 +1,319 @@
+"""The ``k2 serve`` daemon: scheduler loop, request server, supervision.
+
+One :class:`K2Daemon` owns a state directory::
+
+    <state>/daemon.sock   the request socket (or daemon.port on TCP hosts)
+    <state>/store.k2s     the shared verdict store (warm starts + checkpoints)
+    <state>/jobs.jsonl    the job journal (queue state, replayed on start)
+
+The scheduler (the main thread, so POSIX signals reach it) runs one job at
+a time — parallelism lives *inside* a job, whose chains fan out over the
+supervised worker fleet of :class:`~repro.synthesis.parallel.ChainController`
+with ``checkpoint_key=job id``.  The request server answers
+submit/status/result/cancel over the local socket from a background thread.
+
+Failure matrix (what each fault costs):
+
+* **worker SIGKILL'd** — the controller rebuilds the process pool and
+  replays the generation from its seeded snapshot (bounded retries,
+  exponential backoff); results stay bit-identical, the retry count is
+  surfaced in the result summary.
+* **job raises** — the job is requeued with backoff up to
+  ``max_job_attempts``, then marked failed; other jobs are unaffected.
+* **hung solver query** — the spec's ``conflict_budget`` bounds every SMT
+  query; exhaustion degrades the verdict to ``unknown`` and the pipeline
+  escalates or moves on, so the fleet never stalls.
+* **daemon SIGTERM/SIGINT** — graceful: the running search stops at its
+  next generation boundary (checkpoint already written), the job returns
+  to ``queued``, stores are flushed, exit 0.
+* **daemon SIGKILL** — the journal still shows the job ``running``; the
+  next daemon requeues it and the search resumes from the last checkpoint,
+  losing at most one generation.  Resumed results are bit-identical to an
+  uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+import socket
+import threading
+import time
+import traceback
+from typing import Optional
+
+from ..store import VerdictStore, flush_open_stores
+from ..synthesis import SearchInterrupted, SearchResult, Synthesizer
+from . import protocol
+from .jobs import Job, JobQueue, JobSpec
+
+__all__ = ["K2Daemon", "summarize_search_result"]
+
+STORE_NAME = "store.k2s"
+JOURNAL_NAME = "jobs.jsonl"
+
+
+def _digest(text: str) -> str:
+    return hashlib.blake2b(text.encode("utf-8"), digest_size=12).hexdigest()
+
+
+def summarize_search_result(result: SearchResult) -> dict:
+    """JSON-safe result summary stored on the job and returned to clients.
+
+    Carries enough per-chain detail that two runs can be compared for
+    bit-identity by comparing summaries (minus the wall-clock fields, the
+    retry counter and the cache's memo-hit counter, which legitimately
+    differ across resumes).
+    """
+    best_text = result.best_program.to_text()
+    return {
+        "best_program": best_text,
+        "best_digest": _digest(best_text),
+        "source_insns": result.source.num_real_instructions,
+        "best_insns": result.best_program.num_real_instructions,
+        "compression": result.compression,
+        "iterations": result.total_iterations(),
+        "num_generations": result.num_generations,
+        "executor_used": result.executor_used,
+        "counterexamples_shared": result.counterexamples_shared,
+        "rejected_by_kernel_checker": result.rejected_by_kernel_checker,
+        "worker_retries": result.worker_retries,
+        "elapsed_seconds": result.elapsed_seconds,
+        "cache": {name: value for name, value in result.cache_stats.items()},
+        "store": dict(result.store_stats) if result.store_stats else None,
+        "chains": [{
+            "iterations": chain.statistics.iterations,
+            "proposals_accepted": chain.statistics.proposals_accepted,
+            "proposals_unsafe": chain.statistics.proposals_unsafe,
+            "test_failures": chain.statistics.test_failures,
+            "equivalence_checks": chain.statistics.equivalence_checks,
+            "equivalence_cache_hits":
+                chain.statistics.equivalence_cache_hits,
+            "counterexamples_added": chain.statistics.counterexamples_added,
+            "verified_candidates": chain.statistics.verified_candidates,
+            "best_found_at_iteration":
+                chain.statistics.best_found_at_iteration,
+            "candidates": [_digest(candidate.program.to_text())
+                           for candidate in chain.candidates],
+        } for chain in result.chain_results],
+    }
+
+
+class K2Daemon:
+    """The long-lived synthesis service behind ``k2 serve``."""
+
+    def __init__(self, state_dir: str, poll_interval: float = 0.2,
+                 max_job_attempts: int = 3,
+                 job_retry_backoff_seconds: float = 0.2):
+        self.state_dir = str(state_dir)
+        os.makedirs(self.state_dir, exist_ok=True)
+        self.store_path = os.path.join(self.state_dir, STORE_NAME)
+        self.queue = JobQueue(os.path.join(self.state_dir, JOURNAL_NAME))
+        self.poll_interval = poll_interval
+        self.max_job_attempts = max_job_attempts
+        self.job_retry_backoff_seconds = job_retry_backoff_seconds
+        self._stop = threading.Event()
+        self._wake = threading.Event()
+        self._server: Optional[socket.socket] = None
+
+    # ------------------------------------------------------------------ #
+    def request_stop(self) -> None:
+        """Begin a graceful shutdown (idempotent, any thread)."""
+        self._stop.set()
+        self._wake.set()
+
+    @property
+    def stopping(self) -> bool:
+        return self._stop.is_set()
+
+    # ------------------------------------------------------------------ #
+    def serve_forever(self, install_signal_handlers: bool = True) -> int:
+        """Run the request server and the scheduler until stopped."""
+        self._server = protocol.bind_server(self.state_dir)
+        server_thread = threading.Thread(target=self._accept_loop,
+                                         name="k2-serve-requests",
+                                         daemon=True)
+        server_thread.start()
+        if install_signal_handlers:
+            signal.signal(signal.SIGTERM, self._on_signal)
+            signal.signal(signal.SIGINT, self._on_signal)
+        try:
+            while not self._stop.is_set():
+                job = self.queue.next_runnable()
+                if job is None:
+                    self._wake.wait(self.poll_interval)
+                    self._wake.clear()
+                    continue
+                self._run_job(job)
+        finally:
+            self._close_server()
+            # Whatever is buffered anywhere (the scheduler's stores are
+            # per-run, but belt-and-braces on interrupt paths) hits disk.
+            flush_open_stores()
+        return 0
+
+    def _on_signal(self, signum, frame) -> None:  # pragma: no cover - signal
+        self.request_stop()
+
+    def _close_server(self) -> None:
+        server = self._server
+        self._server = None
+        if server is not None:
+            try:
+                server.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+
+    # ------------------------------------------------------------------ #
+    # Request server
+    # ------------------------------------------------------------------ #
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            server = self._server
+            if server is None:
+                return
+            try:
+                conn, _ = server.accept()
+            except OSError:
+                return  # socket closed during shutdown
+            worker = threading.Thread(target=self._handle_connection,
+                                      args=(conn,), daemon=True)
+            worker.start()
+
+    def _handle_connection(self, conn: socket.socket) -> None:
+        try:
+            with conn:
+                conn.settimeout(10.0)
+                try:
+                    message = protocol.recv_message(conn)
+                except (ValueError, OSError) as exc:
+                    protocol.send_message(
+                        conn, {"ok": False, "error": f"bad request: {exc}"})
+                    return
+                if message is None:
+                    return
+                protocol.send_message(conn, self._dispatch(message))
+                # Stop only after the acknowledgement is on the wire —
+                # stopping first races the process exit against the send.
+                if message.get("op") == "shutdown":
+                    self.request_stop()
+        except OSError:  # pragma: no cover - peer vanished mid-response
+            pass
+
+    def _dispatch(self, message: dict) -> dict:
+        op = message.get("op")
+        try:
+            if op == "ping":
+                return {"ok": True, "pid": os.getpid(),
+                        "jobs": len(self.queue.jobs()),
+                        "stopping": self.stopping}
+            if op == "submit":
+                spec = JobSpec.from_dict(message.get("spec") or {})
+                job = self.queue.submit(spec)
+                self._wake.set()
+                return {"ok": True, "job": job.id}
+            if op in ("status", "result"):
+                job = self._require_job(message)
+                return {"ok": True,
+                        "job": job.to_dict(with_result=op == "result")}
+            if op == "cancel":
+                job = self.queue.request_cancel(
+                    str(message.get("job") or ""))
+                if job is None:
+                    return {"ok": False, "error": "unknown job"}
+                if job.state == "cancelled":
+                    self._clear_job_checkpoints(job.id)
+                return {"ok": True, "job": job.to_dict(with_result=False)}
+            if op == "jobs":
+                return {"ok": True,
+                        "jobs": [job.to_dict(with_result=False)
+                                 for job in self.queue.jobs()]}
+            if op == "shutdown":
+                # request_stop happens in _handle_connection, post-send.
+                return {"ok": True, "stopping": True}
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        except (KeyError, TypeError, ValueError) as exc:
+            return {"ok": False, "error": str(exc)}
+
+    def _require_job(self, message: dict) -> Job:
+        job = self.queue.get(str(message.get("job") or ""))
+        if job is None:
+            raise ValueError("unknown job")
+        return job
+
+    # ------------------------------------------------------------------ #
+    # Scheduler
+    # ------------------------------------------------------------------ #
+    def _run_job(self, job: Job) -> None:
+        job.state = "running"
+        job.started_at = time.time()
+        job.attempts += 1
+        job.progress = {}
+        self.queue.persist(job)
+
+        try:
+            program = job.spec.build_program()
+        except Exception as exc:  # bad spec: never retried
+            self._finish(job, "failed", error=f"bad program: {exc}")
+            return
+
+        def generation_hook(completed: int, total: int):
+            job.progress = {"generation": completed, "total": total}
+            self.queue.persist(job)
+            # Stopping or cancelled: interrupt at this (checkpointed)
+            # boundary; SearchInterrupted lands in the handler below.
+            return not (self._stop.is_set() or job.cancel_requested)
+
+        options = job.spec.search_options(self.store_path, job.id,
+                                          generation_hook)
+        try:
+            result = Synthesizer(options).optimize(program)
+        except SearchInterrupted:
+            if job.cancel_requested:
+                self._finish(job, "cancelled")
+                self._clear_job_checkpoints(job.id)
+            else:
+                # Graceful shutdown: back to the queue, checkpoint intact —
+                # the next daemon resumes it where it stopped.
+                job.state = "queued"
+                self.queue.persist(job)
+            return
+        except Exception as exc:
+            if job.attempts < self.max_job_attempts \
+                    and not self._stop.is_set():
+                job.state = "queued"
+                job.error = f"attempt {job.attempts} failed: {exc!r}"
+                self.queue.persist(job)
+                delay = self.job_retry_backoff_seconds \
+                    * (2 ** (job.attempts - 1))
+                self._stop.wait(delay)
+            else:
+                self._finish(job, "failed",
+                             error="".join(traceback.format_exception_only(
+                                 type(exc), exc)).strip())
+                self._clear_job_checkpoints(job.id)
+            return
+        job.result = summarize_search_result(result)
+        self._finish(job, "done")
+
+    def _finish(self, job: Job, state: str,
+                error: Optional[str] = None) -> None:
+        job.state = state
+        job.finished_at = time.time()
+        if error is not None:
+            job.error = error
+        self.queue.persist(job)
+
+    def _clear_job_checkpoints(self, job_id: str) -> None:
+        """Drop a dead job's checkpoints (including windowed sub-keys)."""
+        try:
+            store = VerdictStore(self.store_path)
+            cleared = False
+            for key in store.checkpoint_jobs():
+                if key == job_id or key.startswith(job_id + "/"):
+                    cleared = store.clear_checkpoint(key) or cleared
+            if cleared:
+                store.flush()
+        except Exception:  # pragma: no cover - cleanup is best-effort
+            pass

@@ -1,0 +1,115 @@
+"""Wire protocol of the serve daemon: line-delimited JSON, local sockets.
+
+One request, one response, one connection: a client connects, writes a
+single JSON object terminated by ``\\n``, reads a single JSON object back
+and closes.  Requests carry an ``op`` field; responses always carry ``ok``
+(and ``error`` when ``ok`` is false).  The framing is deliberately trivial
+— the daemon is a local coordination point, not a network service, and a
+torn line simply fails its JSON parse and is answered with an error.
+
+Addressing goes through the daemon *state directory*: an ``AF_UNIX``
+socket at ``<state>/daemon.sock`` where the platform has one, otherwise a
+loopback TCP socket whose ephemeral port is published in
+``<state>/daemon.port`` (the same degrade-don't-die posture as the verdict
+store's lock fallback).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import socket
+from typing import Optional
+
+__all__ = ["SOCKET_NAME", "PORT_FILE", "MAX_LINE_BYTES", "has_unix_sockets",
+           "bind_server", "connect", "send_message", "recv_message"]
+
+SOCKET_NAME = "daemon.sock"
+PORT_FILE = "daemon.port"
+
+#: Upper bound on one message line; a submit carrying a program listing is
+#: a few KB, so anything near this is a protocol error, not a real request.
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+
+def has_unix_sockets() -> bool:
+    return hasattr(socket, "AF_UNIX")
+
+
+def _socket_path(state_dir: str) -> str:
+    return os.path.join(state_dir, SOCKET_NAME)
+
+
+def _port_path(state_dir: str) -> str:
+    return os.path.join(state_dir, PORT_FILE)
+
+
+def bind_server(state_dir: str) -> socket.socket:
+    """Create, bind and listen the daemon's server socket.
+
+    A stale ``AF_UNIX`` socket file from a killed daemon is unlinked before
+    binding — daemon liveness is probed via ``ping``, never inferred from
+    the file's existence.  On TCP platforms the kernel picks the port and
+    :data:`PORT_FILE` publishes it for clients.
+    """
+    if has_unix_sockets():
+        path = _socket_path(state_dir)
+        with contextlib.suppress(OSError):
+            os.unlink(path)
+        server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        server.bind(path)
+    else:  # pragma: no cover - non-POSIX platforms
+        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        server.bind(("127.0.0.1", 0))
+        with open(_port_path(state_dir), "w", encoding="utf-8") as handle:
+            handle.write(str(server.getsockname()[1]))
+    server.listen(16)
+    return server
+
+
+def connect(state_dir: str, timeout: Optional[float] = 10.0) -> socket.socket:
+    """Connect to the daemon addressed by ``state_dir``.
+
+    Raises :class:`OSError` (including :class:`FileNotFoundError` /
+    :class:`ConnectionRefusedError`) when no daemon is listening; the
+    client wraps that into :class:`~repro.service.client.DaemonUnavailable`.
+    """
+    if has_unix_sockets():
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        sock.connect(_socket_path(state_dir))
+        return sock
+    with open(_port_path(state_dir), "r", encoding="utf-8") as handle:  # pragma: no cover
+        port = int(handle.read().strip())
+    sock = socket.create_connection(("127.0.0.1", port), timeout=timeout)  # pragma: no cover
+    return sock  # pragma: no cover
+
+
+def send_message(sock: socket.socket, message: dict) -> None:
+    sock.sendall(json.dumps(message, sort_keys=True,
+                            separators=(",", ":")).encode("utf-8") + b"\n")
+
+
+def recv_message(sock: socket.socket) -> Optional[dict]:
+    """Read one newline-terminated JSON object; ``None`` on a closed peer."""
+    chunks = []
+    total = 0
+    while True:
+        chunk = sock.recv(65536)
+        if not chunk:
+            break
+        chunks.append(chunk)
+        total += len(chunk)
+        if chunk.endswith(b"\n") or b"\n" in chunk:
+            break
+        if total > MAX_LINE_BYTES:
+            raise ValueError("message exceeds protocol line limit")
+    data = b"".join(chunks)
+    if not data.strip():
+        return None
+    line = data.split(b"\n", 1)[0]
+    message = json.loads(line.decode("utf-8"))
+    if not isinstance(message, dict):
+        raise ValueError("protocol messages must be JSON objects")
+    return message

@@ -5,9 +5,12 @@ from .serialize import (
     encode_key, encode_outcome, encode_result, encode_test, record_checksum,
     source_digest,
 )
-from .store import SEMANTICS_VERSION, STORE_FORMAT, VerdictStore
+from .store import (
+    SEMANTICS_VERSION, STORE_FORMAT, VerdictStore, flush_open_stores,
+)
 
 __all__ = ["SEMANTICS_VERSION", "STORE_FORMAT", "VerdictStore",
+           "flush_open_stores",
            "canonical_json", "record_checksum", "source_digest",
            "encode_key", "decode_key",
            "encode_test", "decode_test",

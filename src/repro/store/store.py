@@ -51,6 +51,9 @@ from __future__ import annotations
 import contextlib
 import json
 import os
+import time
+import warnings
+import weakref
 from typing import Dict, List, Optional, Tuple
 
 from ..analysis.analyzer import AnalysisOutcome
@@ -63,7 +66,8 @@ from .serialize import (
     source_digest,
 )
 
-__all__ = ["SEMANTICS_VERSION", "STORE_FORMAT", "VerdictStore"]
+__all__ = ["SEMANTICS_VERSION", "STORE_FORMAT", "VerdictStore",
+           "flush_open_stores"]
 
 #: Version stamp of the executable semantics the persisted verdicts were
 #: computed under: the interpreter/engines, the SMT encoding and the fused
@@ -76,21 +80,115 @@ SEMANTICS_VERSION = "k2-semantics-1"
 STORE_FORMAT = 1
 
 
+# ``fcntl`` is resolved once at import time — a mid-flush ImportError on a
+# non-POSIX platform would otherwise abort the write and drop the pending
+# delta.  Without it, writers degrade to an atomic-create lock file (and,
+# past a bounded wait, to no locking at all), with a one-time warning so
+# the weaker guarantee is visible rather than silent.
+try:
+    import fcntl as _fcntl
+except ImportError:  # pragma: no cover - platform-dependent
+    _fcntl = None
+
+#: Seconds a lock-file writer waits for a competing writer before assuming
+#: the lock is stale (a crashed holder) and breaking it.
+_LOCKFILE_TIMEOUT = 10.0
+_warned_fallback = False
+
+
+def _warn_lock_fallback(reason: str) -> None:
+    global _warned_fallback
+    if not _warned_fallback:
+        _warned_fallback = True
+        warnings.warn(
+            f"verdict-store writer lock degraded ({reason}); concurrent "
+            "writers on this platform may interleave appends",
+            RuntimeWarning, stacklevel=3)
+
+
+@contextlib.contextmanager
+def _lockfile_lock(lock_path: str):
+    """Portable fallback: exclusive lock via atomic O_CREAT|O_EXCL.
+
+    A holder that crashes leaves the file behind; waiters break locks older
+    than :data:`_LOCKFILE_TIMEOUT` (and locks whose age cannot be read)
+    rather than deadlocking — the store's per-record checksums already make
+    a torn interleaved append cost one record, not the file.
+    """
+    deadline = time.monotonic() + _LOCKFILE_TIMEOUT
+    acquired = False
+    while True:
+        try:
+            fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            os.close(fd)
+            acquired = True
+            break
+        except FileExistsError:
+            try:
+                stale = (time.time() - os.path.getmtime(lock_path)
+                         > _LOCKFILE_TIMEOUT)
+            except OSError:
+                stale = True
+            if stale:
+                with contextlib.suppress(OSError):
+                    os.unlink(lock_path)
+                continue
+            if time.monotonic() > deadline:
+                _warn_lock_fallback("timed out waiting for lock file")
+                break
+            time.sleep(0.01)
+        except OSError as exc:  # pragma: no cover - exotic filesystems
+            _warn_lock_fallback(f"cannot create lock file: {exc}")
+            break
+    try:
+        yield
+    finally:
+        if acquired:
+            with contextlib.suppress(OSError):
+                os.unlink(lock_path)
+
+
 @contextlib.contextmanager
 def _file_lock(path: str):
-    """Exclusive advisory lock serializing writers of ``path``."""
-    try:
-        import fcntl
-    except ImportError:  # non-POSIX: single-writer discipline only
-        yield
-        return
+    """Exclusive advisory lock serializing writers of ``path``.
+
+    ``flock`` where available; elsewhere the lock-file fallback above (with
+    a one-time warning).  Every writer path — append, stale rewrite and
+    ``gc`` compaction — takes this same lock, so maintenance can never race
+    an append's view of the file or another rewrite's atomic rename.
+    """
     lock_path = path + ".lock"
+    if _fcntl is None:  # non-POSIX platform
+        _warn_lock_fallback("fcntl unavailable on this platform")
+        with _lockfile_lock(lock_path):
+            yield
+        return
     with open(lock_path, "a", encoding="utf-8") as handle:
-        fcntl.flock(handle, fcntl.LOCK_EX)
+        _fcntl.flock(handle, _fcntl.LOCK_EX)
         try:
             yield
         finally:
-            fcntl.flock(handle, fcntl.LOCK_UN)
+            _fcntl.flock(handle, _fcntl.LOCK_UN)
+
+
+#: Every live store, so an interrupt handler (the CLI's SIGINT/SIGTERM
+#: path, the daemon's graceful shutdown) can flush buffered deltas that
+#: would otherwise die with the process.
+_OPEN_STORES: "weakref.WeakSet[VerdictStore]" = weakref.WeakSet()
+
+
+def flush_open_stores() -> int:
+    """Best-effort flush of every live store's buffered records.
+
+    Returns the number of records written.  Exceptions are swallowed per
+    store: this runs on interrupt paths where one broken store must not
+    keep another store's delta from reaching disk.
+    """
+    written = 0
+    for store in list(_OPEN_STORES):
+        with contextlib.suppress(Exception):
+            written += store.flush()
+    return written
 
 
 class VerdictStore:
@@ -108,6 +206,9 @@ class VerdictStore:
         self._test_keys: Dict[str, set] = {}
         #: (strict_alignment, content key) → analysis outcome.
         self._analysis: Dict[Tuple, AnalysisOutcome] = {}
+        #: job key → (generation, payload): the latest resumable-search
+        #: checkpoint per job (see :meth:`record_checkpoint`).
+        self._checkpoints: Dict[str, Tuple[int, dict]] = {}
         self._pending: List[str] = []
         self.records_loaded = 0
         self.corrupt_records = 0
@@ -116,6 +217,7 @@ class VerdictStore:
         #: flush (or ``gc``) rewrites it under the current stamps.
         self.stale = False
         self.load()
+        _OPEN_STORES.add(self)
 
     # ------------------------------------------------------------------ #
     # Loading
@@ -128,6 +230,7 @@ class VerdictStore:
         self._tests.clear()
         self._test_keys.clear()
         self._analysis.clear()
+        self._checkpoints.clear()
         self.records_loaded = 0
         self.corrupt_records = 0
         self.skipped_records = 0
@@ -168,6 +271,8 @@ class VerdictStore:
                 self._load_counterexample(record)
             elif kind == "an":
                 self._load_analysis(record)
+            elif kind == "ck":
+                self._load_checkpoint(record)
             else:
                 # Forward compatibility: a checksum-valid record of an
                 # unknown kind was written by newer code — skip it quietly.
@@ -218,6 +323,21 @@ class VerdictStore:
     def _load_analysis(self, record: dict) -> None:
         key = (bool(record["strict"]), decode_key(record["key"]))
         self._analysis[key] = decode_outcome(record["r"])
+
+    def _load_checkpoint(self, record: dict) -> None:
+        job = str(record["job"])
+        if record.get("clear"):
+            self._checkpoints.pop(job, None)
+            return
+        generation = int(record["gen"])
+        payload = record["p"]
+        if not isinstance(payload, dict):
+            raise ValueError("checkpoint payload must be a mapping")
+        known = self._checkpoints.get(job)
+        # The log is append-only, so later records supersede earlier ones;
+        # keep the highest generation as a belt (re-ordered gc output).
+        if known is None or generation >= known[0]:
+            self._checkpoints[job] = (generation, payload)
 
     # ------------------------------------------------------------------ #
     # Read API (keyed on exact program content — never on digests alone)
@@ -311,6 +431,38 @@ class VerdictStore:
         return True
 
     # ------------------------------------------------------------------ #
+    # Search checkpoints (crash-recoverable chains; repro.service)
+    # ------------------------------------------------------------------ #
+    def record_checkpoint(self, job: str, generation: int,
+                          payload: dict) -> None:
+        """Persist the latest resumable-search checkpoint for ``job``.
+
+        ``payload`` must be plain JSON data (the checkpoint codec in
+        :mod:`repro.synthesis.checkpoint` produces it).  Unlike verdicts,
+        checkpoints *replace*: only the newest generation per job is served
+        (the append-only log keeps history until ``gc`` compacts it).
+        """
+        self._checkpoints[str(job)] = (int(generation), payload)
+        self._queue({"t": "ck", "job": str(job), "gen": int(generation),
+                     "p": payload})
+
+    def clear_checkpoint(self, job: str) -> bool:
+        """Drop ``job``'s checkpoint (the job completed or was cancelled)."""
+        if str(job) not in self._checkpoints:
+            return False
+        self._checkpoints.pop(str(job), None)
+        self._queue({"t": "ck", "job": str(job), "clear": 1})
+        return True
+
+    def checkpoint_for(self, job: str) -> Optional[Tuple[int, dict]]:
+        """The newest ``(generation, payload)`` checkpoint for ``job``."""
+        return self._checkpoints.get(str(job))
+
+    def checkpoint_jobs(self) -> List[str]:
+        """Jobs with a live checkpoint (in-flight when last persisted)."""
+        return sorted(self._checkpoints)
+
+    # ------------------------------------------------------------------ #
     def flush(self) -> int:
         """Write buffered records to disk; returns the number written.
 
@@ -356,6 +508,11 @@ class VerdictStore:
                                   key=lambda k: (k[0], repr(k[1]))):
             emit({"t": "an", "strict": strict, "key": encode_key(key),
                   "r": encode_outcome(self._analysis[(strict, key)])})
+        # Only the newest checkpoint per job survives a rewrite — this is
+        # how gc sheds superseded per-generation checkpoint history.
+        for job in sorted(self._checkpoints):
+            generation, payload = self._checkpoints[job]
+            emit({"t": "ck", "job": job, "gen": generation, "p": payload})
         return lines
 
     def _rewrite_locked(self) -> None:
@@ -387,6 +544,7 @@ class VerdictStore:
             "verdicts_inequivalent": num_verdicts - equivalent,
             "counterexamples": num_tests,
             "analysis_memos": len(self._analysis),
+            "checkpoints": len(self._checkpoints),
             "corrupt_records": self.corrupt_records,
             "stale": self.stale,
             "pending": len(self._pending),

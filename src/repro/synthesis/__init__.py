@@ -12,8 +12,14 @@ from .params import (
 )
 from .mcmc import ChainResult, ChainStatistics, MarkovChain, VerifiedCandidate
 from .executors import SerialExecutor, create_executor, resolve_executor_kind
+from .checkpoint import (
+    CHECKPOINT_VERSION, apply_chain_state, build_controller_payload,
+    capture_chain_state, decode_chain_state, decode_controller_payload,
+    options_signature,
+)
 from .parallel import (
-    ChainController, ChainWorkUnit, ChainWorkUnitResult, run_chain_generation,
+    ChainController, ChainWorkUnit, ChainWorkUnitResult, SearchInterrupted,
+    run_chain_generation,
 )
 from .search import SearchOptions, SearchResult, Synthesizer
 from .windows import (

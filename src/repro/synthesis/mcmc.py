@@ -62,6 +62,10 @@ class ChainStatistics:
     counterexamples_received: int = 0
     #: Number of ``run()`` calls (generations) this chain has executed.
     generations: int = 0
+    #: Generations of this chain re-dispatched because a pool worker died
+    #: (the controller rebuilds the pool and replays the seeded unit, so
+    #: retries change wall clock and this counter, never the results).
+    worker_retries: int = 0
     #: Per-stage verification-pipeline counters (attempts/accepts/rejects/
     #: escalations/skips/seconds per stage), snapshotted from the pipeline.
     verification: Dict[str, Dict[str, float]] = dataclasses.field(

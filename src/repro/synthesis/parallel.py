@@ -54,7 +54,10 @@ error cost), so it is opt-in via
 
 from __future__ import annotations
 
+import concurrent.futures
+import contextlib
 import dataclasses
+import time
 from typing import Dict, List, Optional, Tuple
 
 from ..analysis.analyzer import AnalysisOutcome
@@ -64,13 +67,27 @@ from ..equivalence import EquivalenceCache
 from ..equivalence.checker import EquivalenceResult
 from ..interpreter import ProgramInput
 from ..store import VerdictStore
+from .checkpoint import (
+    apply_chain_state, build_controller_payload, decode_controller_payload,
+)
 from .executors import create_executor, resolve_executor_kind
 from .mcmc import ChainResult, MarkovChain
 from .params import ParameterSetting
 from .testcases import TestSuite
 
 __all__ = ["ChainWorkUnit", "ChainWorkUnitResult", "run_chain_generation",
-           "ChainController"]
+           "ChainController", "SearchInterrupted"]
+
+
+class SearchInterrupted(RuntimeError):
+    """A generation hook stopped the search at a generation boundary.
+
+    Raised *after* the boundary's store flush and checkpoint write, so the
+    interrupted run is exactly as resumable as a killed one: re-running the
+    same search with the same ``checkpoint_key`` picks up at the next
+    generation.  The daemon's cancel and graceful-shutdown paths rely on
+    this.
+    """
 
 
 @dataclasses.dataclass
@@ -108,8 +125,17 @@ class ChainWorkUnitResult:
         dataclasses.field(default_factory=dict)
 
 
+#: Test-only fault injection: when set, called with the unit at the top of
+#: every worker execution.  Forked pool workers inherit the parent's module
+#: state, so the crash-injection tests install a hook here that SIGKILLs
+#: the first worker to claim a marker file.
+_FAULT_HOOK = None
+
+
 def run_chain_generation(unit: ChainWorkUnit) -> ChainWorkUnitResult:
     """Execute one work unit (module-level so process pools can import it)."""
+    if _FAULT_HOOK is not None:
+        _FAULT_HOOK(unit)
     chain = unit.chain
     if unit.shared_cache_entries and chain.pipeline.options.enable_cache:
         chain.pipeline.cache.seed(unit.shared_cache_entries, foreign=True)
@@ -251,23 +277,38 @@ class ChainController:
     # ------------------------------------------------------------------ #
     def run(self) -> List[ChainResult]:
         options = self.options
-        self._preseed_from_store()
-        chains = [self._build_chain(index, setting)
-                  for index, setting in enumerate(self.settings)]
+        generations = self._generation_schedule(options.iterations_per_chain)
+        self.num_generations = len(generations)
+
+        start_generation = 0
+        chains: Optional[List[MarkovChain]] = None
+        resumed = self._try_resume(generations)
+        if resumed is not None:
+            start_generation, chains = resumed
+        else:
+            self._preseed_from_store()
+            chains = [self._build_chain(index, setting)
+                      for index, setting in enumerate(self.settings)]
         chain_budget = None
         if options.time_budget_seconds is not None:
             chain_budget = options.time_budget_seconds / len(self.settings)
 
-        generations = self._generation_schedule(options.iterations_per_chain)
-        self.num_generations = len(generations)
-        results: List[Optional[ChainResult]] = [None] * len(chains)
+        # On resume every chain has completed at least one generation, so
+        # its cumulative result is reconstructible from the chain itself —
+        # which also covers a crash after the final generation's checkpoint
+        # but before the run returned.
+        results: List[Optional[ChainResult]] = [
+            self._result_snapshot(chain) if start_generation > 0 else None
+            for chain in chains]
         self._cache_watermarks = [0] * len(chains)
         self._pool_watermarks = [0] * len(chains)
         self._analysis_watermarks = [0] * len(chains)
         export_analysis = self.store is not None
 
-        with create_executor(self.executor_kind, options.num_workers) as pool:
-            for generation, iterations in enumerate(generations):
+        pool = create_executor(self.executor_kind, options.num_workers)
+        try:
+            for generation in range(start_generation, len(generations)):
+                iterations = generations[generation]
                 # Shared state is frozen once per generation, before anything
                 # is dispatched: every chain sees the state as of the same
                 # point, so results are independent of dispatch order and
@@ -287,9 +328,7 @@ class ChainController:
                         else frozenset(),
                         export_analysis=export_analysis)
                     for index, chain in enumerate(chains)]
-                futures = [pool.submit(run_chain_generation, unit)
-                           for unit in units]
-                outcomes = [future.result() for future in futures]
+                outcomes, pool = self._dispatch_generation(pool, units)
                 # Merge deterministically, in chain-index order.  Skip pool
                 # collection after the final generation: a counterexample
                 # that can never be delivered to a sibling was not shared
@@ -303,10 +342,169 @@ class ChainController:
                                  collect_counterexamples=not last,
                                  analysis_entries=outcome.analysis_entries)
                 self._flush_store()
+                self._write_checkpoint(generation, generations, chains)
+                self._notify_generation(generation + 1, len(generations))
+        finally:
+            pool.shutdown(wait=True)
 
+        self._clear_checkpoint()
         for chain in chains:
             self.shared_cache.merge(chain.cache, include_counters=True)
         return [result for result in results if result is not None]
+
+    # ------------------------------------------------------------------ #
+    # Worker supervision (bounded retry on a dying process pool)
+    # ------------------------------------------------------------------ #
+    def _dispatch_generation(self, pool, units):
+        """Run one generation's units; rebuild a broken process pool.
+
+        A SIGKILL'd worker surfaces as :class:`BrokenProcessPool` on every
+        future of the generation.  Process workers receive *pickled copies*
+        of the chains, so the parent's units are untouched by a partial
+        generation — resubmitting them replays the generation from its
+        seeded snapshot and the results stay bit-identical to an
+        uninterrupted run.  Serial and thread executors share the parent's
+        chain objects (a failed unit may have mutated them), so for those
+        backends the error propagates instead of being retried.  Retries
+        are bounded with exponential backoff and surfaced via
+        ``ChainStatistics.worker_retries``.
+        """
+        retries = 0
+        max_retries = getattr(self.options, "max_worker_retries", 3)
+        backoff = getattr(self.options, "worker_retry_backoff_seconds", 0.05)
+        while True:
+            try:
+                futures = [pool.submit(run_chain_generation, unit)
+                           for unit in units]
+                outcomes = [future.result() for future in futures]
+            except concurrent.futures.BrokenExecutor:
+                if self.executor_kind != "process" or retries >= max_retries:
+                    raise
+                retries += 1
+                with contextlib.suppress(Exception):
+                    pool.shutdown(wait=False, cancel_futures=True)
+                delay = backoff * (2 ** (retries - 1))
+                if delay > 0:
+                    time.sleep(delay)
+                pool = create_executor(self.executor_kind,
+                                       self.options.num_workers)
+                continue
+            if retries:
+                for outcome in outcomes:
+                    outcome.chain.stats.worker_retries += retries
+            return outcomes, pool
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing (crash-recoverable chains; repro.synthesis.checkpoint)
+    # ------------------------------------------------------------------ #
+    def _checkpoint_key(self) -> Optional[str]:
+        if self.store is None:
+            return None
+        key = getattr(self.options, "checkpoint_key", None)
+        return str(key) if key else None
+
+    def _write_checkpoint(self, generation: int, generations: List[int],
+                          chains: List[MarkovChain]) -> None:
+        """Persist the full resumable state after a completed generation."""
+        key = self._checkpoint_key()
+        if key is None:
+            return
+        payload = build_controller_payload(self, generation + 1,
+                                           generations, chains)
+        self.store.record_checkpoint(key, generation + 1, payload)
+        summary = self.store_summary
+        if summary is not None:
+            summary["flushed_records"] += self.store.flush()
+        else:  # pragma: no cover - store implies a summary today
+            self.store.flush()
+
+    def _clear_checkpoint(self) -> None:
+        """Drop the job's checkpoint once the search completed normally."""
+        key = self._checkpoint_key()
+        if key is None:
+            return
+        if self.store.clear_checkpoint(key):
+            summary = self.store_summary
+            if summary is not None:
+                summary["flushed_records"] += self.store.flush()
+            else:  # pragma: no cover - store implies a summary today
+                self.store.flush()
+
+    def _try_resume(self, generations: List[int]
+                    ) -> Optional[Tuple[int, List[MarkovChain]]]:
+        """Restore chains and shared state from the job's last checkpoint.
+
+        Any incompatibility — different options signature, source program,
+        generation schedule, or an undecodable payload — degrades to a cold
+        start (with the usual warm-store preseed), never to a wrong resume.
+        """
+        key = self._checkpoint_key()
+        if key is None:
+            return None
+        entry = self.store.checkpoint_for(key)
+        if entry is None:
+            return None
+        decoded = decode_controller_payload(
+            entry[1], self.source, self.settings, self.options,
+            self.proposal_region, self.keep_nops, generations)
+        if decoded is None:
+            # Stale checkpoint (e.g. the job spec changed): discard it so
+            # the cold restart below does not re-read it forever.
+            self.store.clear_checkpoint(key)
+            return None
+
+        cache_state = decoded["shared_cache"]
+        self.shared_cache = EquivalenceCache.restore_state(cache_state)
+        # The shared cache's insertion order *is* the append order of the
+        # cache log (they grow in lockstep), so one snapshot restores both
+        # — including the store-preseeded provenance of the log's head.
+        self._cache_log = [(entry_key, result)
+                           for entry_key, result, _, _
+                           in cache_state["entries"]]
+        self._store_keys = frozenset(
+            entry_key for entry_key, _, _, from_store
+            in cache_state["entries"] if from_store)
+        self._pool = list(decoded["pool"])
+        self._pool_keys = {test.freeze_key() for _, test in self._pool}
+        self._analysis_log = list(decoded["analysis"])
+        self._analysis_seen = {entry_key for entry_key, _
+                               in self._analysis_log}
+        # Everything restored was flushed before its checkpoint was
+        # written, so the store already reflects the full logs.
+        self._store_flush_cache_mark = len(self._cache_log)
+        self._store_flush_pool_mark = len(self._pool)
+        self._store_flush_analysis_mark = len(self._analysis_log)
+        if self.store_summary is not None and decoded["store_summary"]:
+            summary = dict(decoded["store_summary"])
+            summary["path"] = self.store.path
+            self.store_summary = summary
+
+        chains = [self._build_chain(index, setting)
+                  for index, setting in enumerate(self.settings)]
+        for chain, state in zip(chains, decoded["chains"]):
+            apply_chain_state(chain, state)
+        return decoded["next_generation"], chains
+
+    @staticmethod
+    def _result_snapshot(chain: MarkovChain) -> ChainResult:
+        """The cumulative ChainResult a restored chain last reported."""
+        ordered = sorted(chain.verified, key=lambda c: c.perf_cost)
+        return ChainResult(best=ordered[0] if ordered else None,
+                           candidates=ordered, statistics=chain.stats)
+
+    def _notify_generation(self, completed: int, total: int) -> None:
+        """Invoke the caller's generation hook (progress / cancellation).
+
+        Runs after the boundary's flush and checkpoint write; a hook
+        returning ``False`` therefore interrupts the search at a resumable
+        point.
+        """
+        hook = getattr(self.options, "generation_hook", None)
+        if hook is None:
+            return
+        if hook(completed, total) is False:
+            raise SearchInterrupted(
+                f"search interrupted after generation {completed}/{total}")
 
     # ------------------------------------------------------------------ #
     def _preseed_from_store(self) -> None:

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..bpf.program import BpfProgram
 from ..equivalence import EquivalenceOptions
@@ -97,6 +97,26 @@ class SearchOptions:
     #: the search trajectory (legitimately — more pruning before any solver
     #: call — but no longer bit-identical to a cold run).
     store_preseed_counterexamples: bool = False
+    #: Stable identifier for checkpointed, resumable searches (requires
+    #: ``store_path``): the controller persists its full state to the store
+    #: under this key after every generation, and a later run with the same
+    #: key, source and options resumes bit-identically from the last
+    #: completed generation.  ``None`` disables checkpointing.  Windowed
+    #: runs derive one sub-key per window (``<key>/w<index>``).
+    checkpoint_key: Optional[str] = None
+    #: Called after each generation boundary (checkpoint already written)
+    #: as ``hook(completed, total)``; returning ``False`` interrupts the
+    #: search with :class:`~repro.synthesis.parallel.SearchInterrupted` at
+    #: that resumable point.  The serve daemon uses this for progress
+    #: reporting, cancellation and graceful shutdown.  Never shipped to
+    #: workers (the controller calls it in-process), so it need not pickle.
+    generation_hook: Optional[Callable[[int, int], Optional[bool]]] = None
+    #: Generations re-dispatched after a dying process-pool worker before
+    #: the failure is propagated (process executor only; serial/thread
+    #: failures are never retried — their units share the parent's chains).
+    max_worker_retries: int = 3
+    #: Base of the exponential backoff between pool rebuilds.
+    worker_retry_backoff_seconds: float = 0.05
 
 
 @dataclasses.dataclass
@@ -165,6 +185,12 @@ class SearchResult:
 
     def total_iterations(self) -> int:
         return sum(result.statistics.iterations for result in self.chain_results)
+
+    @property
+    def worker_retries(self) -> int:
+        """Generations re-dispatched after a worker death, over all chains."""
+        return sum(result.statistics.worker_retries
+                   for result in self.chain_results)
 
 
 class Synthesizer:

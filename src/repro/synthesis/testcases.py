@@ -106,6 +106,10 @@ class TestSuite:
             else (interpreter or create_engine())
         self.interpreter = self.engine
         self.generator = TestCaseGenerator(source, seed=seed)
+        #: How many leading tests are seed-generated (everything after them
+        #: is an accumulated counterexample — the part a checkpoint stores;
+        #: the prefix is regenerated from the seed on restore).
+        self.num_initial = num_initial
         self.tests: List[ProgramInput] = self.generator.generate(num_initial)
         self._seen = {test.freeze_key() for test in self.tests}
         self._source_outputs: Optional[List[ProgramOutput]] = None

@@ -232,8 +232,14 @@ class WindowedScheduler:
             window_stats.append(stats)
             if budget <= 0:
                 continue
+            # Each window gets its own checkpoint sub-key: a restarted
+            # windowed job re-runs completed windows cold (bit-identical —
+            # the shared store replays their verdicts) and resumes the
+            # window that was in flight from its last generation.
+            base_key = getattr(options, "checkpoint_key", None)
             window_options = dataclasses.replace(
-                options, iterations_per_chain=budget, window_mode=False)
+                options, iterations_per_chain=budget, window_mode=False,
+                checkpoint_key=f"{base_key}/w{index}" if base_key else None)
             controller = ChainController(current, settings, window_options,
                                          proposal_region=window.span,
                                          keep_nops=True,

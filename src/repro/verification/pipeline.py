@@ -122,6 +122,34 @@ class PipelineStats:
         }
         return summary
 
+    def load_dict(self, snapshot: Dict[str, Dict[str, float]]) -> None:
+        """Restore counters from an :meth:`as_dict` snapshot (checkpoints).
+
+        Stage names absent from this pipeline's configuration are ignored
+        (a checkpoint taken under different stage toggles fails its options
+        signature before restore is ever attempted).
+        """
+        for name, counters in snapshot.items():
+            if name == "_pipeline":
+                continue
+            stats = self.stages.get(name)
+            if stats is None:
+                continue
+            stats.attempts = int(counters.get("attempts", 0))
+            stats.accepts = int(counters.get("accepts", 0))
+            stats.rejects = int(counters.get("rejects", 0))
+            stats.escalations = int(counters.get("escalations", 0))
+            stats.skips = int(counters.get("skips", 0))
+            stats.seconds = float(counters.get("seconds", 0.0))
+        pipeline = snapshot.get("_pipeline", {})
+        self.queries = int(pipeline.get("queries", 0))
+        self.inconclusive = int(pipeline.get("inconclusive", 0))
+        self.replay_probe_refutes = int(
+            pipeline.get("replay_probe_refutes", 0))
+        self.replay_batch_refutes = int(
+            pipeline.get("replay_batch_refutes", 0))
+        self.replay_reorders = int(pipeline.get("replay_reorders", 0))
+
     @staticmethod
     def merge_dicts(into: Dict[str, Dict[str, float]],
                     other: Dict[str, Dict[str, float]]) -> Dict[str, Dict[str, float]]:
@@ -275,6 +303,37 @@ class VerificationPipeline:
             self.stats.replay_reorders += 1
         return ([pool[index] for index in order],
                 [self._pool_observables[index] for index in order])
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing (crash-recoverable chains; repro.synthesis.checkpoint)
+    # ------------------------------------------------------------------ #
+    def export_replay_state(self):
+        """Pool tests (in insertion order) and refutation counts.
+
+        Counts are keyed by test freeze key; a count can reference a test
+        the bounded pool rejected, so the two collections are exported
+        separately.
+        """
+        return list(self._pool), dict(self._refute_counts)
+
+    def restore_replay_state(self, source, tests, refute_counts) -> None:
+        """Rebuild the replay pool and the adaptive ordering state.
+
+        ``source`` pins the pool's source key so the restored refutation
+        counts survive the next :meth:`verify` (a ``None`` key would read
+        as a source change and reset them).  The derived caches (source
+        outputs, observables) are recomputed lazily on the next query,
+        exactly as after a process-pool hop.
+        """
+        self._pool = []
+        self._pool_keys = set()
+        self._pool_key_list = []
+        for test in tests:
+            self.add_counterexample(test)
+        self._pool_outputs = []
+        self._pool_observables = []
+        self._pool_source_key = source.structural_key()
+        self._refute_counts = dict(refute_counts)
 
     # ------------------------------------------------------------------ #
     def begin_generation(self) -> None:
