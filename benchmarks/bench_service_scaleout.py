@@ -1,0 +1,209 @@
+"""Service scale-out smoke: sharded determinism + concurrent throughput.
+
+Drives real ``k2 serve`` subprocesses the way an operator would and gates
+the two scale-out claims:
+
+* **Sharded determinism** — the same spec run unsharded and as two shards
+  (cross-chain sharing disabled, so the sharing domains coincide) must
+  produce the identical ``best_digest``;
+* **Concurrent throughput** — two process-executor jobs under a
+  two-slot/two-worker daemon must genuinely overlap (always gated), and
+  on a machine with >= 2 CPUs must finish in well under the
+  one-at-a-time FIFO daemon's wall clock (gate: >= 1.4x speedup; on a
+  single-CPU box the speedup is reported but not gated — two jobs
+  time-slicing one core cannot beat FIFO).
+
+The un-smoked (nightly) run additionally stands up a *peer* daemon and a
+coordinator with ``--peer``, verifying that farmed-out shards crossing
+the wire protocol still merge to the identical digest.
+
+Environment knobs: ``K2_BENCH_SMOKE=1`` shrinks the iteration budget for
+CI smoke runs; ``K2_BENCH_JSON=path`` writes a JSON summary (the
+``BENCH_*.json`` perf trajectory).
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+import pytest
+
+import repro
+from repro.service import DaemonClient, DaemonUnavailable, JobSpec
+
+SMOKE = os.environ.get("K2_BENCH_SMOKE", "") not in ("", "0")
+ITERATIONS = 300 if SMOKE else 600
+SYNC_INTERVAL = 50
+NUM_SETTINGS = 2
+SEED = 7
+JSON_PATH = os.environ.get("K2_BENCH_JSON", "")
+
+CONCURRENT_SPEEDUP_GATE = 1.4
+CPUS = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") \
+    else (os.cpu_count() or 1)
+
+BENCHMARK = "xdp_pktcntr"
+
+
+def _spec(**overrides):
+    base = dict(benchmark=BENCHMARK, iterations=ITERATIONS,
+                settings=NUM_SETTINGS, seed=SEED,
+                sync_interval=SYNC_INTERVAL,
+                share_cache=False, share_counterexamples=False)
+    base.update(overrides)
+    return JobSpec(**base)
+
+
+def _start_daemon(state_dir, *flags):
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--state", state_dir,
+         *flags],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.STDOUT)
+    client = DaemonClient(state_dir)
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        try:
+            client.ping()
+            return process, client
+        except DaemonUnavailable:
+            time.sleep(0.05)
+    raise RuntimeError("daemon did not come up")
+
+
+def _stop_daemon(process, client):
+    if process.poll() is None:
+        try:
+            client.shutdown()
+            assert process.wait(timeout=30) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+
+
+def _run_jobs(state_dir, specs, *flags):
+    """Submit all specs to a fresh daemon; returns (records, wall clock)."""
+    process, client = _start_daemon(state_dir, *flags)
+    try:
+        started = time.perf_counter()
+        job_ids = [client.submit(spec) for spec in specs]
+        jobs = [client.wait(job_id, timeout=900) for job_id in job_ids]
+        elapsed = time.perf_counter() - started
+    finally:
+        _stop_daemon(process, client)
+    for job in jobs:
+        assert job["state"] == "done", (
+            f"job {job['id']} finished {job['state']!r}: {job['error']}")
+    return jobs, elapsed
+
+
+def test_scaleout_sharding_and_concurrency():
+    root = tempfile.mkdtemp(prefix="k2-scaleout-bench-")
+    try:
+        # ---- sharded determinism ------------------------------------- #
+        (flat,), _ = _run_jobs(os.path.join(root, "flat"), [_spec()])
+        (sharded,), _ = _run_jobs(os.path.join(root, "sharded"),
+                                  [_spec(shards=2)])
+        flat_digest = flat["result"]["best_digest"]
+        shard_digest = sharded["result"]["best_digest"]
+        placement = sharded["result"]["shards"]
+        print(f"sharded determinism: unsharded {flat_digest} vs "
+              f"2-shard {shard_digest} "
+              f"({[s['ran_on'] for s in placement]})")
+
+        # ---- concurrent throughput ----------------------------------- #
+        specs = [_spec(executor="process", num_workers=1),
+                 _spec(executor="process", num_workers=1, seed=SEED + 2)]
+        fifo_jobs, fifo_seconds = _run_jobs(os.path.join(root, "fifo"),
+                                            specs)
+        conc_jobs, conc_seconds = _run_jobs(
+            os.path.join(root, "conc"), specs,
+            "--max-concurrent-jobs", "2", "--worker-budget", "2")
+        speedup = fifo_seconds / max(conc_seconds, 1e-9)
+        overlap = max(job["started_at"] for job in conc_jobs) \
+            < min(job["finished_at"] for job in conc_jobs)
+        for serial, concurrent in zip(fifo_jobs, conc_jobs):
+            assert serial["result"]["best_digest"] \
+                == concurrent["result"]["best_digest"], (
+                    "concurrent scheduling changed a result")
+        gate_speedup = CPUS >= 2
+        print(f"concurrency: FIFO {fifo_seconds:.2f}s -> "
+              f"2-slot {conc_seconds:.2f}s ({speedup:.2f}x on {CPUS} "
+              f"cpu(s); speedup gate >= {CONCURRENT_SPEEDUP_GATE:.1f}x "
+              f"{'armed' if gate_speedup else 'skipped: single cpu'})")
+
+        if JSON_PATH:
+            payload = {"bench": "service_scaleout", "smoke": SMOKE,
+                       "iterations": ITERATIONS,
+                       "sync_interval": SYNC_INTERVAL,
+                       "num_settings": NUM_SETTINGS, "seed": SEED,
+                       "benchmark": BENCHMARK,
+                       "unsharded_digest": flat_digest,
+                       "sharded_digest": shard_digest,
+                       "shard_placement": [s["ran_on"] for s in placement],
+                       "fifo_seconds": round(fifo_seconds, 3),
+                       "concurrent_seconds": round(conc_seconds, 3),
+                       "concurrent_speedup": round(speedup, 3),
+                       "jobs_overlapped": overlap,
+                       "cpus": CPUS,
+                       "speedup_gated": gate_speedup}
+            with open(JSON_PATH, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=1)
+            print(f"wrote {JSON_PATH}")
+
+        assert shard_digest == flat_digest, (
+            "sharding changed what the search found")
+        assert overlap, (
+            "two-slot daemon never ran the two jobs concurrently")
+        if gate_speedup:
+            assert speedup >= CONCURRENT_SPEEDUP_GATE, (
+                f"two-slot daemon should be >= "
+                f"{CONCURRENT_SPEEDUP_GATE:.1f}x faster than FIFO, "
+                f"got {speedup:.2f}x on {CPUS} cpus")
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def test_scaleout_multi_daemon_shard_farm_out():
+    """Nightly-only: shards crossing the wire to a peer daemon still merge
+    to the identical digest (the smoke run covers local-fallback shards)."""
+    if SMOKE:
+        pytest.skip("multi-daemon variant runs un-smoked (nightly)")
+    root = tempfile.mkdtemp(prefix="k2-scaleout-peers-")
+    peer_process = coord_process = None
+    try:
+        (flat,), _ = _run_jobs(os.path.join(root, "flat"), [_spec()])
+
+        peer_state = os.path.join(root, "peer")
+        coord_state = os.path.join(root, "coord")
+        peer_process, peer_client = _start_daemon(peer_state)
+        coord_process, coord_client = _start_daemon(
+            coord_state, "--peer", peer_state)
+        job = coord_client.wait(coord_client.submit(_spec(shards=2)),
+                                timeout=900)
+        assert job["state"] == "done", job["error"]
+        placement = job["result"]["shards"]
+        print(f"multi-daemon: 2 shards ran on "
+              f"{[s['ran_on'] for s in placement]}")
+        assert any(shard["ran_on"] == peer_state for shard in placement), (
+            "no shard was farmed out to the peer daemon")
+        assert job["result"]["best_digest"] \
+            == flat["result"]["best_digest"], (
+                "farmed-out sharding changed what the search found")
+        _stop_daemon(coord_process, coord_client)
+        coord_process = None
+        _stop_daemon(peer_process, peer_client)
+        peer_process = None
+    finally:
+        for process in (coord_process, peer_process):
+            if process is not None and process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+        shutil.rmtree(root, ignore_errors=True)

@@ -12,9 +12,10 @@ Run with::
     python examples/quickstart.py
 """
 
+from repro import api
 from repro.bpf import BpfProgram, HookType, assemble
+from repro.bpf.hooks import get_hook
 from repro.bpf.maps import MapDef, MapEnvironment, MapType
-from repro.core import K2Compiler, OptimizationGoal
 
 SOURCE = """
     ; u32 ctl_flag_pos = 0; u32 cntr_pos = 0;  (clang output shape)
@@ -43,19 +44,16 @@ def main() -> None:
                key_size=4, value_size=8, max_entries=4),
     ])
     program = BpfProgram(instructions=assemble(SOURCE),
-                         hook=__import__("repro.bpf.hooks",
-                                         fromlist=["get_hook"]).get_hook(HookType.XDP),
+                         hook=get_hook(HookType.XDP),
                          maps=maps, name="xdp_pktcntr")
 
     print("=== source program ===")
     print(program.to_text())
     print()
 
-    compiler = K2Compiler(goal=OptimizationGoal.INSTRUCTION_COUNT,
-                          iterations_per_chain=4000,
-                          num_parameter_settings=2,
+    config = api.K2Config(goal="size", iterations=4000, settings=2,
                           seed=11)
-    result = compiler.optimize(program)
+    result = api.optimize(program, config)
 
     print("=== K2 result ===")
     print(result.summary())

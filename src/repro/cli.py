@@ -10,9 +10,18 @@ Examples::
     k2 corpus --list
     k2 store verdicts.k2s stats
     k2 serve --state .k2d                 # start the job daemon
+    k2 serve --state .k2d --max-concurrent-jobs 4 --worker-budget 8
+    k2 serve --state .k2d --peer .k2d-b --peer .k2d-c  # shard coordinator
     k2 submit --state .k2d --benchmark xdp_pktcntr --wait
+    k2 submit --state .k2d --benchmark xdp_pktcntr --follow  # pushed events
+    k2 submit --state .k2d --benchmark xdp_pktcntr --shards 2
+    k2 watch --state .k2d j0001
     k2 status --state .k2d j0001
     k2 result --state .k2d j0001
+
+The CLI is a thin shell over the stable :mod:`repro.api` facade — every
+flag maps one-for-one onto a :class:`repro.api.K2Config` field, so
+anything scriptable here is scriptable in Python with the same names.
 
 Every command flushes open verdict stores and exits with status 130 on
 SIGINT/SIGTERM, so an interrupted warm-started run never loses buffered
@@ -28,46 +37,44 @@ import json
 import signal
 import sys
 
-from .bpf import BpfProgram, HookType, assemble, get_hook
-from .bpf.maps import MapEnvironment
-from .core import K2Compiler, OptimizationGoal
+from . import api
+from .bpf import HookType
 from .engine import DEFAULT_ENGINE_KIND, ENGINE_KINDS
 from .equivalence import EquivalenceOptions
-from .corpus import all_benchmarks, get_benchmark
+from .corpus import all_benchmarks
 from .safety import SafetyChecker
 from .verifier import KernelChecker
 
 __all__ = ["main"]
 
 
-def _load_program(path: str, hook_name: str) -> BpfProgram:
-    with open(path, "r", encoding="utf-8") as handle:
-        text = handle.read()
-    hook = HookType(hook_name)
-    return BpfProgram(instructions=assemble(text), hook=get_hook(hook),
-                      maps=MapEnvironment(), name=path)
+def _search_config(args: argparse.Namespace) -> api.K2Config:
+    """The :class:`~repro.api.K2Config` a flag namespace denotes.
+
+    The CLI is a thin shell over :mod:`repro.api`: flags map onto config
+    fields one-for-one, so this is a straight transcription plus the few
+    flags that only exist on some subcommands.
+    """
+    config = api.K2Config(
+        goal=args.goal, iterations=args.iterations, settings=args.settings,
+        seed=args.seed, num_workers=args.num_workers, executor=args.executor,
+        sync_interval=args.sync_interval, engine=args.engine,
+        analysis=args.analysis, windowed=args.windowed,
+        window_size=args.window_size, window_overlap=args.window_overlap,
+        conflict_budget=args.conflict_budget)
+    for flag in ("portfolio", "store", "verify_pipeline", "priority",
+                 "shards", "share_cache", "share_counterexamples"):
+        if hasattr(args, flag):
+            setattr(config, flag, getattr(args, flag))
+    return config
 
 
 def _cmd_optimize(args: argparse.Namespace) -> int:
     if args.benchmark:
-        program = get_benchmark(args.benchmark).program()
+        program = api.benchmark_program(args.benchmark)
     else:
-        program = _load_program(args.program, args.hook)
-    goal = OptimizationGoal.LATENCY if args.goal == "latency" \
-        else OptimizationGoal.INSTRUCTION_COUNT
-    compiler = K2Compiler(goal=goal, iterations_per_chain=args.iterations,
-                          num_parameter_settings=args.settings, seed=args.seed,
-                          num_workers=args.num_workers, executor=args.executor,
-                          sync_interval=args.sync_interval,
-                          verify_stages=args.verify_pipeline,
-                          engine=args.engine, analysis=args.analysis,
-                          portfolio=args.portfolio,
-                          windowed=args.windowed,
-                          window_size=args.window_size,
-                          window_overlap=args.window_overlap,
-                          store=args.store,
-                          conflict_budget=args.conflict_budget)
-    result = compiler.optimize(program)
+        program = api.load_program(args.program, args.hook)
+    result = api.optimize(program, _search_config(args))
     print(result.summary())
     print()
     print(result.optimized.to_text())
@@ -76,9 +83,9 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
 
 def _cmd_check(args: argparse.Namespace) -> int:
     if args.benchmark:
-        program = get_benchmark(args.benchmark).program()
+        program = api.benchmark_program(args.benchmark)
     else:
-        program = _load_program(args.program, args.hook)
+        program = api.load_program(args.program, args.hook)
     safety = SafetyChecker(mode=args.analysis).check(program)
     verdict = KernelChecker(mode=args.analysis).load(program)
     print(f"safety checker : {'safe' if safety.safe else 'UNSAFE'}")
@@ -102,7 +109,7 @@ def _cmd_store(args: argparse.Namespace) -> int:
 
     store = VerdictStore(args.path)
     if args.action == "stats":
-        for field, value in store.stats().items():
+        for field, value in api.store_stats(args.path).items():
             print(f"{field:22s} {value}")
         return 0
     if args.action == "gc":
@@ -129,9 +136,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .service import K2Daemon
 
     daemon = K2Daemon(args.state,
-                      max_job_attempts=args.max_job_attempts)
+                      max_job_attempts=args.max_job_attempts,
+                      max_concurrent_jobs=args.max_concurrent_jobs,
+                      worker_budget=args.worker_budget,
+                      peers=args.peer)
     print(f"k2 daemon: state dir {daemon.state_dir}, "
-          f"{len(daemon.queue.jobs())} journaled jobs", flush=True)
+          f"{len(daemon.queue.jobs())} journaled jobs, "
+          f"{daemon.max_concurrent_jobs} slots x "
+          f"{daemon.worker_budget} workers"
+          + (f", {len(daemon.peers)} peers" if daemon.peers else ""),
+          flush=True)
     return daemon.serve_forever()
 
 
@@ -142,26 +156,32 @@ def _client(args: argparse.Namespace):
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
-    from .service import JobSpec
-
     program_text = None
     if args.program:
         with open(args.program, "r", encoding="utf-8") as handle:
             program_text = handle.read()
-    spec = JobSpec(benchmark=args.benchmark, program_text=program_text,
-                   hook=args.hook, goal=args.goal,
-                   iterations=args.iterations, settings=args.settings,
-                   seed=args.seed, sync_interval=args.sync_interval,
-                   num_workers=args.num_workers, executor=args.executor,
-                   engine=args.engine, analysis=args.analysis,
-                   windowed=args.windowed, window_size=args.window_size,
-                   window_overlap=args.window_overlap,
-                   conflict_budget=args.conflict_budget)
-    client = _client(args)
-    job_id = client.submit(spec)
+    job_id = api.submit(_search_config(args), benchmark=args.benchmark,
+                        program_text=program_text, hook=args.hook,
+                        sync_interval=args.sync_interval, state=args.state)
     print(job_id, flush=True)
+    if args.follow:
+        # Event-driven: every line below was pushed by the daemon over a
+        # held-open watch stream — following costs zero status polls.
+        job = None
+        for event in api.watch(job_id, state=args.state,
+                               timeout=args.timeout):
+            line = {"event": event.event, "seq": event.seq}
+            line.update({key: value for key, value in event.data.items()
+                         if key != "job"})
+            print(json.dumps(line, sort_keys=True), flush=True)
+            if event.final:
+                job = (event.data or {}).get("job")
+        if job is None:  # stream ended without a terminal record
+            job = _client(args).result(job_id)
+        print(json.dumps(job, indent=2, sort_keys=True))
+        return 0 if job["state"] == "done" else 1
     if args.wait:
-        job = client.wait(job_id, timeout=args.timeout)
+        job = api.wait(job_id, state=args.state, timeout=args.timeout)
         print(json.dumps(job, indent=2, sort_keys=True))
         return 0 if job["state"] == "done" else 1
     return 0
@@ -180,6 +200,18 @@ def _cmd_job_query(args: argparse.Namespace) -> int:
     if args.command == "result":
         return 0 if job["state"] == "done" else 1
     return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    final_state = None
+    for event in api.watch(args.job, state=args.state, timeout=args.timeout):
+        line = {"event": event.event, "seq": event.seq}
+        line.update({key: value for key, value in event.data.items()
+                     if key != "job"})
+        print(json.dumps(line, sort_keys=True), flush=True)
+        if event.final:
+            final_state = (event.data or {}).get("state")
+    return 0 if final_state == "done" else 1
 
 
 def _cmd_jobs(args: argparse.Namespace) -> int:
@@ -353,6 +385,19 @@ def main(argv=None) -> int:
     serve.add_argument("--max-job-attempts", type=int, default=3, metavar="N",
                        help="times a crashing job is retried before it is "
                             "marked failed (default: %(default)s)")
+    serve.add_argument("--max-concurrent-jobs", type=int, default=1,
+                       metavar="N",
+                       help="scheduler slots: jobs running at once "
+                            "(default: %(default)s)")
+    serve.add_argument("--worker-budget", type=int, default=None, metavar="N",
+                       help="daemon-wide worker pool that per-job grants are "
+                            "carved from; a job asking for more workers than "
+                            "remain is clamped, never skipped (default: "
+                            "max(cpu count, --max-concurrent-jobs))")
+    serve.add_argument("--peer", action="append", default=[], metavar="DIR",
+                       help="state directory of a peer daemon to farm shard "
+                            "sub-jobs out to (repeatable); shards with no "
+                            "live peer run locally")
     serve.set_defaults(func=_cmd_serve)
 
     submit = sub.add_parser(
@@ -389,13 +434,42 @@ def main(argv=None) -> int:
                         help="per-query solver conflict budget; hung SMT "
                              "queries degrade to 'unknown' (default: "
                              "library default)")
+    submit.add_argument("--priority", type=int, default=0, metavar="P",
+                        help="scheduling priority: higher runs first, FIFO "
+                             "within a priority (default: %(default)s)")
+    submit.add_argument("--shards", type=int, default=1, metavar="N",
+                        help="split the job's chains into N contiguous "
+                             "shards farmed out to the daemon's --peer "
+                             "daemons and merged deterministically "
+                             "(default: %(default)s)")
+    submit.add_argument("--no-share-cache", dest="share_cache",
+                        action="store_false",
+                        help="disable cross-chain equivalence-cache sharing "
+                             "(makes a sharded run bit-identical to the "
+                             "unsharded one)")
+    submit.add_argument("--no-share-counterexamples",
+                        dest="share_counterexamples", action="store_false",
+                        help="disable cross-chain counterexample sharing")
     submit.add_argument("--wait", action="store_true",
                         help="block until the job is terminal and print its "
-                             "result record")
+                             "result record (event-driven, no polling)")
+    submit.add_argument("--follow", action="store_true",
+                        help="stream the daemon's pushed job events (state "
+                             "changes, per-generation progress, shard "
+                             "transitions) as JSON lines until the job is "
+                             "terminal, then print its result record; "
+                             "costs zero status polls")
     submit.add_argument("--timeout", type=float, default=None, metavar="SEC",
                         help="give up waiting after SEC seconds (the job "
                              "keeps running)")
     submit.set_defaults(func=_cmd_submit)
+
+    watch = sub.add_parser(
+        "watch", help="stream a job's pushed events as JSON lines")
+    _add_state_arg(watch)
+    watch.add_argument("job", help="job id, e.g. j0001")
+    watch.add_argument("--timeout", type=float, default=None, metavar="SEC")
+    watch.set_defaults(func=_cmd_watch)
 
     for name, helptext in (("status", "show a job's queue state"),
                            ("result", "show a job's full record incl. result"),
@@ -454,7 +528,7 @@ def _dispatch(args: argparse.Namespace) -> int:
     except (ValueError, OSError):  # pragma: no cover - non-main thread
         pass
     service_commands = ("submit", "status", "result", "cancel", "jobs",
-                        "shutdown")
+                        "watch", "shutdown")
     try:
         return args.func(args)
     except KeyboardInterrupt:

@@ -20,6 +20,7 @@ Typical usage::
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from typing import List, Optional
 
 from ..bpf.encoder import decode_program, encode_program
@@ -176,6 +177,14 @@ class K2Compiler:
                              "store_path; set it on the SearchOptions "
                              "instead of the store kwarg")
         if options is None:
+            # One-release deprecation shim: the keyword sprawl still works,
+            # but the stable spelling is a typed ``repro.api.K2Config``
+            # (``K2Config(...).compiler()`` or ``repro.api.optimize``).
+            warnings.warn(
+                "K2Compiler(goal=..., iterations_per_chain=..., ...) is "
+                "deprecated; build a repro.api.K2Config and use "
+                "repro.api.optimize() (or K2Config.compiler()) instead",
+                DeprecationWarning, stacklevel=2)
             if equivalence is None:
                 equivalence = EquivalenceOptions.from_stages(verify_stages) \
                     if verify_stages is not None else EquivalenceOptions()

@@ -3,14 +3,21 @@
 The package turns the one-shot search pipeline into a long-lived local
 service:
 
-* :mod:`repro.service.protocol` — newline-delimited JSON over a local
-  socket (``AF_UNIX`` where available, loopback TCP elsewhere);
-* :mod:`repro.service.jobs` — job specs, states and the journaled queue
-  that survives daemon restarts;
-* :mod:`repro.service.daemon` — :class:`K2Daemon`: the scheduler loop, the
-  request server, worker supervision and graceful shutdown;
+* :mod:`repro.service.protocol` — versioned, typed newline-delimited JSON
+  over a local socket (``AF_UNIX`` where available, loopback TCP
+  elsewhere), with a one-release compat shim for unversioned v0 peers;
+* :mod:`repro.service.jobs` — job specs, states, priorities and the
+  journaled queue that survives daemon restarts;
+* :mod:`repro.service.daemon` — :class:`K2Daemon`: the concurrent
+  scheduler (per-job worker grants from a daemon-wide budget), the
+  request server, the event broker behind ``watch`` streams, the shard
+  coordinator, worker supervision and graceful shutdown;
+* :mod:`repro.service.shards` — chain sharding: split a job's chains
+  across peer daemons and merge the results bit-identically;
 * :mod:`repro.service.client` — :class:`DaemonClient`: what the
-  ``k2 submit|status|result|cancel`` subcommands talk through.
+  ``k2 submit|status|result|cancel`` subcommands talk through, including
+  the event-driven :meth:`~repro.service.client.DaemonClient.watch` /
+  :meth:`~repro.service.client.DaemonClient.wait` pair.
 
 Fault tolerance is layered on the checkpointed controller
 (:mod:`repro.synthesis.checkpoint`): every job runs with
@@ -21,8 +28,12 @@ produce results bit-identical to an uninterrupted run.
 """
 
 from .client import DaemonClient, DaemonUnavailable
-from .daemon import K2Daemon
+from .daemon import EventBroker, K2Daemon
 from .jobs import Job, JobQueue, JobSpec, JOB_STATES
+from .protocol import CAPABILITIES, PROTO_VERSION
+from .shards import merge_shard_payloads, plan_shards, run_shard
 
-__all__ = ["DaemonClient", "DaemonUnavailable", "K2Daemon",
-           "Job", "JobQueue", "JobSpec", "JOB_STATES"]
+__all__ = ["DaemonClient", "DaemonUnavailable", "EventBroker", "K2Daemon",
+           "Job", "JobQueue", "JobSpec", "JOB_STATES",
+           "CAPABILITIES", "PROTO_VERSION",
+           "merge_shard_payloads", "plan_shards", "run_shard"]

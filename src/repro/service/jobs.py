@@ -66,6 +66,22 @@ class JobSpec:
     #: one pathological candidate can never stall the fleet.  ``None``
     #: keeps the library default.
     conflict_budget: Optional[int] = None
+    #: Scheduling priority: higher runs first; FIFO within a priority.
+    priority: int = 0
+    #: Split the job's chains into this many contiguous shards, farmed out
+    #: to peer daemons (or run locally) and merged deterministically — see
+    #: :mod:`repro.service.shards` for the exact semantics (sharding
+    #: partitions the cross-chain *sharing domain*, so placement never
+    #: changes results).  ``1`` keeps the whole job in one controller.
+    shards: int = 1
+    #: Cross-chain sharing knobs (mirror ``SearchOptions``).  Disable both
+    #: to make a sharded run bit-identical to its unsharded counterpart.
+    share_cache: bool = True
+    share_counterexamples: bool = True
+    #: Internal: the shard descriptor of a farmed-out sub-job
+    #: (:func:`repro.service.shards.plan_shards` entry).  Clients never set
+    #: this; coordinators do when submitting shard work to a peer.
+    shard: Optional[dict] = None
 
     # ------------------------------------------------------------------ #
     def validate(self) -> None:
@@ -77,6 +93,17 @@ class JobSpec:
             raise ValueError("settings must be positive")
         if self.conflict_budget is not None and self.conflict_budget <= 0:
             raise ValueError("conflict_budget must be positive")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.shards > 1 and self.windowed:
+            # Windows compose sequentially (each search base is the
+            # previous window's stitch), so they cannot be farmed out in
+            # parallel; chains can.
+            raise ValueError("windowed jobs are not shardable")
+        if self.shard is not None:
+            for field in ("index", "of", "lo", "hi", "total"):
+                if field not in self.shard:
+                    raise ValueError(f"shard descriptor missing {field!r}")
 
     def build_program(self) -> BpfProgram:
         if self.benchmark:
@@ -85,8 +112,10 @@ class JobSpec:
                           hook=get_hook(HookType(self.hook)),
                           maps=MapEnvironment(), name="submitted")
 
-    def search_options(self, store_path: str, checkpoint_key: str,
-                       generation_hook=None) -> SearchOptions:
+    def search_options(self, store_path: Optional[str],
+                       checkpoint_key: Optional[str],
+                       generation_hook=None,
+                       progress_listener=None) -> SearchOptions:
         """The fully-wired options for running this spec under the daemon."""
         equivalence = EquivalenceOptions()
         if self.conflict_budget is not None:
@@ -107,10 +136,13 @@ class JobSpec:
             window_mode=bool(self.windowed),
             window_size=int(self.window_size),
             window_overlap=int(self.window_overlap),
+            share_cache=bool(self.share_cache),
+            share_counterexamples=bool(self.share_counterexamples),
             equivalence=equivalence,
             store_path=store_path,
             checkpoint_key=checkpoint_key,
-            generation_hook=generation_hook)
+            generation_hook=generation_hook,
+            progress_listener=progress_listener)
 
     def to_dict(self) -> dict:
         return dataclasses.asdict(self)
@@ -142,6 +174,9 @@ class Job:
     progress: Dict[str, int] = dataclasses.field(default_factory=dict)
     result: Optional[dict] = None
     cancel_requested: bool = False
+    #: Workers the scheduler carved out of the daemon pool budget for the
+    #: current (or last) run of this job; ``None`` before the first claim.
+    workers_granted: Optional[int] = None
 
     @property
     def terminal(self) -> bool:
@@ -159,6 +194,7 @@ class Job:
             "error": self.error,
             "progress": dict(self.progress),
             "cancel_requested": self.cancel_requested,
+            "workers_granted": self.workers_granted,
         }
         if with_result:
             data["result"] = self.result
@@ -177,7 +213,8 @@ class Job:
             error=data.get("error"),
             progress=dict(data.get("progress") or {}),
             result=data.get("result"),
-            cancel_requested=bool(data.get("cancel_requested")))
+            cancel_requested=bool(data.get("cancel_requested")),
+            workers_granted=data.get("workers_granted"))
 
 
 class JobQueue:
@@ -251,13 +288,23 @@ class JobQueue:
             return [self._jobs[job_id] for job_id in self._order]
 
     def next_runnable(self) -> Optional[Job]:
-        """Oldest queued, uncancelled job (FIFO)."""
+        """Best queued, uncancelled job: highest priority, then FIFO.
+
+        FIFO-with-budgets fairness lives in the scheduler, not here: the
+        queue only ranks; the daemon clamps the head job's worker grant to
+        whatever remains of the pool budget rather than skipping it, so a
+        wide job can never be starved by a stream of narrow ones.
+        """
         with self._lock:
-            for job_id in self._order:
+            best = None
+            for position, job_id in enumerate(self._order):
                 job = self._jobs[job_id]
-                if job.state == "queued" and not job.cancel_requested:
-                    return job
-            return None
+                if job.state != "queued" or job.cancel_requested:
+                    continue
+                rank = (-int(job.spec.priority), position)
+                if best is None or rank < best[0]:
+                    best = (rank, job)
+            return None if best is None else best[1]
 
     def request_cancel(self, job_id: str) -> Optional[Job]:
         """Flag a job for cancellation; queued jobs cancel immediately.

@@ -474,9 +474,17 @@ class VerdictStore:
             return 0
         written = len(self._pending)
         with _file_lock(self.path):
-            if self.stale or not os.path.exists(self.path):
+            # A missing or stale file is normally healed by an atomic full
+            # rewrite — but only after re-probing the header *under the
+            # lock*: a second writer that loaded the same stale file may
+            # have already rewritten it, and rewriting again from our
+            # (stale-empty) in-memory state would drop its records.  When
+            # another writer healed the file first, downgrade to an append
+            # of just our pending records.
+            if (self.stale or not os.path.exists(self.path)) \
+                    and not self._disk_header_ok():
                 self._rewrite_locked()
-            else:
+            elif self._pending:
                 with open(self.path, "a", encoding="utf-8") as handle:
                     handle.write("".join(self._pending))
                     handle.flush()
@@ -484,6 +492,19 @@ class VerdictStore:
         self._pending = []
         self.stale = False
         return written
+
+    def _disk_header_ok(self) -> bool:
+        """Whether the on-disk file currently has a valid header.
+
+        Re-probed under the writer lock before a stale rewrite; distinct
+        from ``self.stale``, which reflects the file as of our last
+        :meth:`load`.
+        """
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                return self._header_ok(handle.readline().rstrip("\n"))
+        except OSError:
+            return False
 
     def _snapshot_lines(self) -> List[str]:
         """Header + every in-memory record, in a deterministic order."""

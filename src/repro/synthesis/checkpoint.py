@@ -57,7 +57,9 @@ __all__ = ["CHECKPOINT_VERSION", "capture_chain_state", "decode_chain_state",
 
 #: Bump when the payload layout changes; old checkpoints then read as
 #: incompatible (cold start) instead of being misinterpreted.
-CHECKPOINT_VERSION = 1
+#: v2: ``chain_index_offset`` joined the options signature (shard-local
+#: controllers seed chains by global index; see ``repro.service.shards``).
+CHECKPOINT_VERSION = 2
 
 
 # --------------------------------------------------------------------------- #
@@ -265,6 +267,7 @@ def options_signature(source, settings, options, proposal_region,
         str(getattr(options, "engine", None)),
         str(getattr(options, "analysis", None)),
         bool(getattr(options, "store_preseed_counterexamples", False)),
+        int(getattr(options, "chain_index_offset", 0)),
         None if proposal_region is None else list(proposal_region),
         bool(keep_nops),
         repr(options.equivalence),

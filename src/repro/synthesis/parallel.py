@@ -343,7 +343,8 @@ class ChainController:
                                  analysis_entries=outcome.analysis_entries)
                 self._flush_store()
                 self._write_checkpoint(generation, generations, chains)
-                self._notify_generation(generation + 1, len(generations))
+                self._notify_generation(generation + 1, len(generations),
+                                        chains)
         finally:
             pool.shutdown(wait=True)
 
@@ -492,13 +493,30 @@ class ChainController:
         return ChainResult(best=ordered[0] if ordered else None,
                            candidates=ordered, statistics=chain.stats)
 
-    def _notify_generation(self, completed: int, total: int) -> None:
-        """Invoke the caller's generation hook (progress / cancellation).
+    def _notify_generation(self, completed: int, total: int,
+                           chains: Optional[List[MarkovChain]] = None) -> None:
+        """Invoke the caller's progress listener and generation hook.
 
         Runs after the boundary's flush and checkpoint write; a hook
         returning ``False`` therefore interrupts the search at a resumable
-        point.
+        point.  The listener fires first and is purely observational — the
+        serve daemon turns its payload into streaming ``watch`` events.
         """
+        listener = getattr(self.options, "progress_listener", None)
+        if listener is not None:
+            offset = getattr(self.options, "chain_index_offset", 0)
+            listener({
+                "completed": completed,
+                "total": total,
+                "checkpoint": self._checkpoint_key() is not None,
+                "chains": [
+                    {"chain": offset + index,
+                     "iterations": chain.stats.iterations,
+                     "verified": chain.stats.verified_candidates,
+                     "best_cost": min((c.perf_cost for c in chain.verified),
+                                      default=None)}
+                    for index, chain in enumerate(chains or [])],
+            })
         hook = getattr(self.options, "generation_hook", None)
         if hook is None:
             return
@@ -565,6 +583,11 @@ class ChainController:
     # ------------------------------------------------------------------ #
     def _build_chain(self, index: int, setting: ParameterSetting) -> MarkovChain:
         options = self.options
+        # Seeds derive from the chain's *global* index: a sharded run's
+        # controller sees only a contiguous slice of the settings, and the
+        # offset keeps its chain ``i`` bit-identical to chain ``offset + i``
+        # of the unsharded run.
+        index += getattr(options, "chain_index_offset", 0)
         # One engine per chain, shared between its test suite and its
         # verification pipeline (chains must not share engines: each is
         # shipped whole to a worker).

@@ -27,7 +27,8 @@ from .mcmc import ChainResult, VerifiedCandidate
 from .params import ParameterSetting, all_parameter_settings
 from .parallel import ChainController
 
-__all__ = ["SearchOptions", "SearchResult", "Synthesizer"]
+__all__ = ["SearchOptions", "SearchResult", "Synthesizer",
+           "assemble_search_result", "deduplicate_candidates"]
 
 
 @dataclasses.dataclass
@@ -111,6 +112,20 @@ class SearchOptions:
     #: reporting, cancellation and graceful shutdown.  Never shipped to
     #: workers (the controller calls it in-process), so it need not pickle.
     generation_hook: Optional[Callable[[int, int], Optional[bool]]] = None
+    #: Called after each generation boundary with a progress payload
+    #: (``{"completed", "total", "checkpoint", "chains": [...]}`` — see
+    #: :meth:`~repro.synthesis.parallel.ChainController._notify_generation`)
+    #: *before* ``generation_hook``.  Purely observational: its return value
+    #: is ignored and it can never perturb the search.  The serve daemon
+    #: uses it to push streaming ``watch`` events.  Like the hook it runs
+    #: in-process only and need not pickle.
+    progress_listener: Optional[Callable[[Dict], None]] = None
+    #: Global index of this run's first chain.  A sharded job slices its
+    #: parameter settings into contiguous shards and runs each slice in its
+    #: own controller; the offset keeps every chain's seeds derived from its
+    #: *global* index, so shard-local chain ``i`` is bit-identical to chain
+    #: ``offset + i`` of the unsharded run (see ``repro.service.shards``).
+    chain_index_offset: int = 0
     #: Generations re-dispatched after a dying process-pool worker before
     #: the failure is propagated (process executor only; serial/thread
     #: failures are never retried — their units share the parent's chains).
@@ -193,6 +208,81 @@ class SearchResult:
                    for result in self.chain_results)
 
 
+def deduplicate_candidates(candidates: List[VerifiedCandidate]
+                           ) -> List[VerifiedCandidate]:
+    """Drop structurally-identical candidates, keeping the first of each."""
+    seen = set()
+    unique = []
+    for candidate in candidates:
+        key = candidate.program.structural_key()
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(candidate)
+    return unique
+
+
+def assemble_search_result(source: BpfProgram,
+                           chain_results: List[ChainResult],
+                           settings: List[ParameterSetting],
+                           options: SearchOptions,
+                           kernel_checker: Optional[KernelChecker] = None,
+                           *,
+                           elapsed_seconds: float = 0.0,
+                           cache_stats: Optional[Dict[str, float]] = None,
+                           counterexamples_shared: int = 0,
+                           num_generations: int = 1,
+                           executor_used: str = "serial",
+                           store_stats: Optional[Dict[str, object]] = None
+                           ) -> SearchResult:
+    """Post-process raw chain results into a :class:`SearchResult`.
+
+    This is the single assembly path for whole-program runs *and* for the
+    shard-merge path in :mod:`repro.service.shards`: candidates are sorted
+    by ``(perf_cost, instruction_count)``, optionally filtered through the
+    kernel-checker model, deduplicated structurally and cut to ``top_k`` —
+    all deterministic given ``chain_results`` in chain-index order, which
+    is what makes a merged sharded run bit-identical to an unsharded one.
+    """
+    candidates = [candidate
+                  for result in chain_results
+                  for candidate in result.candidates]
+    candidates.sort(key=lambda c: (c.perf_cost, c.instruction_count))
+
+    rejected = 0
+    if options.kernel_checker_filter:
+        if kernel_checker is None:
+            kernel_checker = KernelChecker(mode=options.analysis)
+        accepted = []
+        for candidate in candidates:
+            if kernel_checker.load(candidate.program).accepted:
+                accepted.append(candidate)
+            else:
+                rejected += 1
+        candidates = accepted
+
+    verification: Dict[str, Dict[str, float]] = {}
+    for result in chain_results:
+        PipelineStats.merge_dicts(verification,
+                                  result.statistics.verification)
+
+    top = deduplicate_candidates(candidates)[:max(options.top_k, 1)]
+    return SearchResult(
+        source=source,
+        best=top[0] if top else None,
+        top_candidates=top,
+        chain_results=chain_results,
+        settings_used=settings,
+        elapsed_seconds=elapsed_seconds,
+        rejected_by_kernel_checker=rejected,
+        cache_stats=dict(cache_stats or {}),
+        counterexamples_shared=counterexamples_shared,
+        num_generations=num_generations,
+        executor_used=executor_used,
+        verification_stats=verification,
+        store_stats=store_stats)
+
+
 class Synthesizer:
     """Run the full K2 search: several chains plus kernel-checker filtering."""
 
@@ -220,51 +310,11 @@ class Synthesizer:
         controller = ChainController(source, settings, options)
         chain_results = controller.run()
 
-        candidates = [candidate
-                      for result in chain_results
-                      for candidate in result.candidates]
-        candidates.sort(key=lambda c: (c.perf_cost, c.instruction_count))
-
-        rejected = 0
-        if options.kernel_checker_filter:
-            accepted = []
-            for candidate in candidates:
-                if self.kernel_checker.load(candidate.program).accepted:
-                    accepted.append(candidate)
-                else:
-                    rejected += 1
-            candidates = accepted
-
-        verification: Dict[str, Dict[str, float]] = {}
-        for result in chain_results:
-            PipelineStats.merge_dicts(verification,
-                                      result.statistics.verification)
-
-        top = self._deduplicate(candidates)[:max(options.top_k, 1)]
-        return SearchResult(
-            source=source,
-            best=top[0] if top else None,
-            top_candidates=top,
-            chain_results=chain_results,
-            settings_used=settings,
+        return assemble_search_result(
+            source, chain_results, settings, options, self.kernel_checker,
             elapsed_seconds=time.perf_counter() - started,
-            rejected_by_kernel_checker=rejected,
             cache_stats=controller.shared_cache.stats(),
             counterexamples_shared=controller.counterexamples_shared,
             num_generations=controller.num_generations,
             executor_used=controller.executor_kind,
-            verification_stats=verification,
             store_stats=controller.store_summary)
-
-    # ------------------------------------------------------------------ #
-    @staticmethod
-    def _deduplicate(candidates: List[VerifiedCandidate]) -> List[VerifiedCandidate]:
-        seen = set()
-        unique = []
-        for candidate in candidates:
-            key = candidate.program.structural_key()
-            if key in seen:
-                continue
-            seen.add(key)
-            unique.append(candidate)
-        return unique

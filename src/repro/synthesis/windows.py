@@ -237,8 +237,20 @@ class WindowedScheduler:
             # the shared store replays their verdicts) and resumes the
             # window that was in flight from its last generation.
             base_key = getattr(options, "checkpoint_key", None)
+            # The caller's progress listener sees every window's generations
+            # tagged with the window index/span, so a streaming consumer
+            # (the serve daemon's watch events) can attribute progress.
+            listener = getattr(options, "progress_listener", None)
+            if listener is not None:
+                def window_listener(info, _listener=listener, _index=index,
+                                    _span=window.span):
+                    _listener(dict(info, window=_index,
+                                   window_span=list(_span)))
+            else:
+                window_listener = None
             window_options = dataclasses.replace(
                 options, iterations_per_chain=budget, window_mode=False,
+                progress_listener=window_listener,
                 checkpoint_key=f"{base_key}/w{index}" if base_key else None)
             controller = ChainController(current, settings, window_options,
                                          proposal_region=window.span,

@@ -232,6 +232,27 @@ class TestCorruptionRecovery:
         # The old-semantics view is gone for current-semantics readers too.
         assert VerdictStore(path).stale
 
+    def test_concurrent_stale_heal_appends_instead_of_rewriting(self,
+                                                                tmp_path):
+        """Two writers that both loaded a stale file must not clobber.
+
+        Both see ``stale`` and would each heal by a full rewrite; the
+        second rewrite would silently drop whatever the first flushed.
+        The flush re-probes the on-disk header under the writer lock and
+        downgrades to an append once the file has been healed.
+        """
+        path = str(tmp_path / "v.k2s")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("not-a-k2s-header\n")
+        first, second = VerdictStore(path), VerdictStore(path)
+        assert first.stale and second.stale
+        first.record_checkpoint("job-a", 1, {"v": 1})
+        first.flush()  # heals: atomic rewrite with a fresh header
+        second.record_checkpoint("job-b", 1, {"v": 1})
+        second.flush()  # must append, not rewrite over job-a
+        assert sorted(VerdictStore(path).checkpoint_jobs()) \
+            == ["job-a", "job-b"]
+
     def test_source_digest_collision_degrades_to_cold(self, tmp_path):
         # Two src records claiming one digest for different keys: the store
         # must serve verdicts for neither (wrong answers are never an
